@@ -1,0 +1,119 @@
+// Experiment E4 — CONGEST round complexity (paper Corollary 3.11/3.12).
+//
+// Claim: the distributed deterministic construction runs in O(beta * n^rho)
+// rounds, never violates the CONGEST message caps (enforced by the
+// simulator — a violation throws), and leaves BOTH endpoints of every
+// emulator edge aware of it.
+//
+// Output: measured rounds (with per-step breakdown) against the schedule
+// budget, message totals, endpoint-consistency verdicts, and size bounds.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/emulator_distributed.hpp"
+#include "core/params.hpp"
+#include "util/math.hpp"
+
+namespace usne {
+namespace {
+
+std::int64_t schedule_budget(const DistributedParams& p) {
+  std::int64_t budget = 0;
+  for (int i = 0; i <= p.schedule.ell(); ++i) {
+    const double deg = p.schedule.deg[static_cast<std::size_t>(i)];
+    const Dist delta = p.schedule.delta[static_cast<std::size_t>(i)];
+    const Dist rul = p.rul[static_cast<std::size_t>(i)];
+    const std::int64_t cap = static_cast<std::int64_t>(std::ceil(deg)) + 1;
+    budget += 2 * delta * cap;
+    budget += p.ruling_base * p.ruling_levels * (2 * delta + 2);
+    budget += rul + delta + 1;
+    budget += (rul + delta) * (2 * cap + 2) + (rul + delta) + 8 * cap + 16;
+  }
+  return budget;
+}
+
+}  // namespace
+}  // namespace usne
+
+int main() {
+  using namespace usne;
+  bench::banner("E4  bench_congest_rounds",
+                "Corollary 3.11: deterministic CONGEST construction in "
+                "O(beta * n^rho) rounds; both endpoints know every edge; "
+                "zero cap violations.");
+  Timer total;
+
+  Table table({"family", "n", "kappa", "rho", "rounds", "budget",
+               "rounds/budget", "messages", "|H|", "size_ok", "endpoints_ok"});
+  const double eps = 0.4;
+  struct Row {
+    const char* family;
+    Vertex n;
+    int kappa;
+    double rho;
+  };
+  for (const Row& row : {Row{"er", 128, 4, 0.49}, Row{"er", 256, 4, 0.49},
+                         Row{"er", 512, 4, 0.49}, Row{"er", 1024, 4, 0.45},
+                         Row{"torus", 256, 4, 0.45}, Row{"ba", 256, 4, 0.49},
+                         Row{"caveman", 256, 4, 0.49},
+                         Row{"er", 512, 8, 0.4}}) {
+    const Graph g = gen_family(row.family, row.n, 2024);
+    const auto params =
+        DistributedParams::compute(g.num_vertices(), row.kappa, row.rho, eps);
+    DistributedOptions options;
+    options.keep_audit_data = false;
+    const auto r = build_emulator_distributed(g, params, options);
+    const std::int64_t budget = schedule_budget(params);
+    const bool size_ok =
+        r.base.h.num_edges() <= size_bound_edges(g.num_vertices(), row.kappa);
+
+    table.row()
+        .add(row.family)
+        .add(static_cast<std::int64_t>(g.num_vertices()))
+        .add(row.kappa)
+        .add(row.rho, 2)
+        .add(r.net.rounds)
+        .add(budget)
+        .add(static_cast<double>(r.net.rounds) / static_cast<double>(budget), 3)
+        .add(r.net.messages)
+        .add(r.base.h.num_edges())
+        .add(size_ok ? "yes" : "NO")
+        .add(r.endpoints_consistent() ? "yes" : "NO");
+  }
+  table.print(std::cout, "E4: CONGEST rounds vs schedule budget");
+
+  // Per-step breakdown for one representative run.
+  {
+    const Graph g = gen_family("er", 512, 2024);
+    const auto params = DistributedParams::compute(g.num_vertices(), 4, 0.49, eps);
+    DistributedOptions options;
+    options.keep_audit_data = false;
+    const auto r = build_emulator_distributed(g, params, options);
+    Table steps({"phase", "|P_i|", "popular", "|U_i|", "detect", "ruling",
+                 "forest", "backtrack", "interconnect", "total"});
+    for (const auto& p : r.base.phases) {
+      steps.row()
+          .add(p.phase)
+          .add(p.clusters_in)
+          .add(p.popular)
+          .add(p.unclustered)
+          .add(p.rounds_detect)
+          .add(p.rounds_ruling)
+          .add(p.rounds_forest)
+          .add(p.rounds_backtrack)
+          .add(p.rounds_interconnect)
+          .add(p.rounds);
+    }
+    steps.print(std::cout, "E4b: per-phase round breakdown (er, n=512)");
+  }
+
+  bench::note("Interpretation: rounds/budget < 1 in every row shows the "
+              "fixed O(beta*n^rho) schedule is respected; 'endpoints_ok' "
+              "verifies the paper's distinctive emulator obligation "
+              "(both endpoints of every edge know it). Any cap violation "
+              "would have aborted the run.");
+  std::cout << "\n[E4 done in " << format_double(total.seconds(), 1) << "s]\n";
+  return 0;
+}

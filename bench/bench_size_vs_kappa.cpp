@@ -1,0 +1,83 @@
+// Experiment E1 — emulator size vs kappa (paper Corollary 2.14).
+//
+// Claim: Algorithm 1 produces a (1+eps, beta)-emulator with AT MOST
+// n^(1+1/kappa) edges — leading constant exactly 1 — where all prior
+// constructions pay a constant c >= 2 at their sparsest ([EP01] via its
+// ground partition; [TZ06]/[EN17a] via randomized per-phase accounting).
+//
+// Output: one table per graph family; columns are edge counts of each
+// construction and the ratio |H| / n^(1+1/kappa) (ours must be <= 1).
+
+#include <cmath>
+#include <iostream>
+
+#include "baselines/en17_emulator.hpp"
+#include "baselines/ep01_emulator.hpp"
+#include "baselines/tz06_emulator.hpp"
+#include "bench_common.hpp"
+#include "core/emulator_centralized.hpp"
+#include "core/params.hpp"
+#include "eval/metrics.hpp"
+#include "util/math.hpp"
+
+namespace usne {
+namespace {
+
+void run_family(const std::string& family, Vertex n, std::uint64_t seed) {
+  const Graph g = gen_family(family, n, seed);
+  const Vertex real_n = g.num_vertices();
+  const double eps = 0.25;
+
+  Table table({"kappa", "bound n^(1+1/k)", "ours", "ours/bound", "EP01",
+               "TZ06", "EN17a", "|E(G)|"});
+  const int log_n = static_cast<int>(std::ceil(std::log2(real_n)));
+  for (const int kappa : {2, 3, 4, 8, 16, log_n}) {
+    const auto params = CentralizedParams::compute(real_n, kappa, eps);
+    CentralizedOptions options;
+    options.keep_audit_data = false;
+    const auto ours = build_emulator_centralized(g, params, options);
+    const auto ep01 = build_emulator_ep01(g, params);
+    const auto tz06 = build_emulator_tz06(g, real_n, kappa, seed + 1);
+    const auto en17 = build_emulator_en17(g, real_n, kappa, eps, seed + 2);
+
+    table.row()
+        .add(kappa)
+        .add(size_bound_edges(real_n, kappa))
+        .add(ours.h.num_edges())
+        .add(size_bound_ratio(ours.h, real_n, kappa), 4)
+        .add(ep01.h.num_edges())
+        .add(tz06.h.num_edges())
+        .add(en17.h.num_edges())
+        .add(g.num_edges());
+  }
+  table.print(std::cout, "E1: " + family + " (n=" + std::to_string(real_n) +
+                             ", eps=" + format_double(eps, 2) + ")");
+}
+
+}  // namespace
+}  // namespace usne
+
+int main() {
+  using namespace usne;
+  bench::banner("E1  bench_size_vs_kappa",
+                "Corollary 2.14: |H| <= n^(1+1/kappa), leading constant 1; "
+                "baselines pay more.");
+  Timer timer;
+
+  run_family("er", 2048, 11);
+  run_family("er", 4096, 12);
+  run_family("ba", 2048, 13);
+  run_family("torus", 2048, 14);
+  run_family("caveman", 2048, 15);
+
+  bench::note("Interpretation: 'ours/bound' <= 1.0 in every row is the "
+              "paper's headline (leading constant exactly 1, deterministic).");
+  bench::note("EP01 pays its ground partition in every row; TZ06 pays the "
+              "randomized closer-than-sampled interconnection. EN17a is "
+              "randomized linear-size: it can land near (occasionally just "
+              "below) ours on some inputs but carries no deterministic "
+              "per-instance bound, which is precisely the gap the paper "
+              "closes.");
+  std::cout << "\n[E1 done in " << format_double(timer.seconds(), 1) << "s]\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Distributed construction demo (paper §3): runs the deterministic CONGEST
+// algorithm on the simulator, printing the round/message economics and
+// verifying the both-endpoints-know property.
+//
+//   ./congest_demo [--n 256] [--family torus] [--kappa 4] [--rho 0.45]
+
+#include <iostream>
+
+#include "core/emulator_distributed.hpp"
+#include "core/params.hpp"
+#include "eval/stretch.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace usne;
+  Cli cli(argc, argv,
+          {{"n", "number of vertices (default 256)"},
+           {"family", "graph family (default torus; see generators.hpp)"},
+           {"kappa", "sparsity parameter (default 4)"},
+           {"rho", "time exponent in (1/kappa, 1/2) (default 0.45)"},
+           {"seed", "generator seed (default 3)"}});
+  if (cli.help_requested() || !cli.errors().empty()) {
+    for (const auto& e : cli.errors()) std::cerr << "error: " << e << '\n';
+    std::cout << cli.usage("congest_demo");
+    return cli.help_requested() ? 0 : 1;
+  }
+  const Vertex n = static_cast<Vertex>(cli.get_int("n", 256));
+  const std::string family = cli.get("family", "torus");
+  const int kappa = static_cast<int>(cli.get_int("kappa", 4));
+  const double rho = cli.get_double("rho", 0.45);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  const Graph g = gen_family(family, n, seed);
+  const auto params =
+      DistributedParams::compute(g.num_vertices(), kappa, rho, 0.4);
+  std::cout << "graph:  " << family << ", n = " << g.num_vertices()
+            << ", m = " << g.num_edges() << "\n"
+            << "params: " << params.describe() << "\n\n";
+
+  const DistributedBuildResult result = build_emulator_distributed(g, params);
+
+  Table rounds({"phase", "|P_i|", "popular", "|U_i|", "detect", "ruling",
+                "forest", "backtrack", "interconnect"});
+  for (const auto& p : result.base.phases) {
+    rounds.row()
+        .add(p.phase)
+        .add(p.clusters_in)
+        .add(p.popular)
+        .add(p.unclustered)
+        .add(p.rounds_detect)
+        .add(p.rounds_ruling)
+        .add(p.rounds_forest)
+        .add(p.rounds_backtrack)
+        .add(p.rounds_interconnect);
+  }
+  rounds.print(std::cout, "round breakdown per phase");
+
+  std::cout << "totals: rounds = " << result.net.rounds
+            << ", messages = " << result.net.messages
+            << ", words = " << result.net.words << "\n"
+            << "|H| = " << result.base.h.num_edges() << " (bound "
+            << emulator_size_bound(g.num_vertices(), kappa) << ")\n";
+
+  const bool endpoints = result.endpoints_consistent();
+  std::cout << "both endpoints know every emulator edge: "
+            << (endpoints ? "YES" : "NO") << "\n";
+
+  const auto stretch = evaluate_stretch_sampled(
+      g, result.base.h, params.schedule.alpha_bound(),
+      params.schedule.beta_bound(), 8, seed);
+  std::cout << "stretch violations: " << stretch.violations << " over "
+            << stretch.pairs << " sampled pairs\n";
+  std::cout << "\nEvery message respected the CONGEST caps (a violation "
+            << "would have aborted the run), and the construction is fully "
+            << "deterministic.\n";
+  return (endpoints && stretch.ok()) ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+#include "baselines/em19_spanner.hpp"
+
+namespace usne {
+
+BuildResult build_spanner_em19_default(const Graph& g, Vertex n, int kappa,
+                                       double rho, double eps) {
+  const DistributedParams params = DistributedParams::compute(n, kappa, rho, eps);
+  SpannerOptions options;
+  options.keep_audit_data = false;
+  return build_spanner_em19(g, params, options);
+}
+
+}  // namespace usne

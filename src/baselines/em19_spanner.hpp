@@ -1,0 +1,23 @@
+#pragma once
+
+// [EM19] Elkin–Matar PODC'19 baseline: near-additive spanners in low
+// polynomial deterministic CONGEST time, with O(beta * n^(1+1/kappa)) edges.
+//
+// Structurally this is the §4 path-insertion skeleton driven by the §3
+// degree sequence (no transition phase, no [EN17a] geometric decay): every
+// interconnection inserts a path of length up to delta_i ~ beta, which is
+// exactly where the beta factor in the size comes from. The implementation
+// is shared with core/spanner.hpp (build_spanner_em19); this header is the
+// baseline's public face and adds the convenience wrapper used by benches.
+
+#include "core/params.hpp"
+#include "core/spanner.hpp"
+
+namespace usne {
+
+/// Builds the EM19 baseline spanner with default rho/eps choices suitable
+/// for size comparisons at a given kappa.
+BuildResult build_spanner_em19_default(const Graph& g, Vertex n, int kappa,
+                                       double rho, double eps);
+
+}  // namespace usne

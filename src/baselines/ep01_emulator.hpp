@@ -1,0 +1,26 @@
+#pragma once
+
+// [EP01] Elkin–Peleg baseline (STOC'01), as characterized in the paper's
+// §1.2/§2: the same superclustering-and-interconnection scheme and degree
+// sequence, but
+//   * popular clusters absorb only delta_i-close clusters (no buffer set
+//     N_i), and
+//   * connectivity between superclusters and nearby unclustered clusters is
+//     provided by a separate *ground partition*, whose spanning forest
+//     contributes up to n - 1 additional emulator edges.
+//
+// This is the construction whose per-phase accounting is "doomed to result
+// in an emulator of size at least n^(1+1/kappa) + n - O(1) >= 2n - O(1)"
+// (paper §2) — the foil for the main result. Bench E1/E7 compare its edge
+// count against Algorithm 1 on identical inputs.
+
+#include "core/cluster.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace usne {
+
+/// Runs the [EP01]-style construction (deterministic).
+BuildResult build_emulator_ep01(const Graph& g, const CentralizedParams& params);
+
+}  // namespace usne

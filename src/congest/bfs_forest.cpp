@@ -1,0 +1,81 @@
+#include "congest/bfs_forest.hpp"
+
+#include <algorithm>
+
+namespace usne::congest {
+namespace {
+
+// Message tags for forest construction.
+constexpr Word kWave = 1;  // <kWave, root>
+constexpr Word kJoin = 2;  // <kJoin> to parent
+
+}  // namespace
+
+std::vector<std::vector<Vertex>> BfsForest::children() const {
+  std::vector<std::vector<Vertex>> result(root.size());
+  for (std::size_t v = 0; v < root.size(); ++v) {
+    const Vertex p = parent[v];
+    if (p != -1) result[static_cast<std::size_t>(p)].push_back(static_cast<Vertex>(v));
+  }
+  return result;
+}
+
+BfsForest build_bfs_forest(Network& net, const std::vector<Vertex>& roots,
+                           Dist depth) {
+  const Vertex n = net.num_vertices();
+  BfsForest f;
+  f.root.assign(static_cast<std::size_t>(n), -1);
+  f.depth.assign(static_cast<std::size_t>(n), kInfDist);
+  f.parent.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<Vertex> frontier;
+  for (const Vertex r : roots) {
+    if (f.root[static_cast<std::size_t>(r)] == -1) {
+      f.root[static_cast<std::size_t>(r)] = r;
+      f.depth[static_cast<std::size_t>(r)] = 0;
+      frontier.push_back(r);
+    }
+  }
+
+  for (Dist d = 0; d < depth; ++d) {
+    for (const Vertex v : frontier) {
+      net.broadcast(v, Message::of(kWave, f.root[static_cast<std::size_t>(v)]));
+    }
+    net.advance_round();
+    frontier.clear();
+    for (const Vertex v : net.delivered_to()) {
+      if (f.root[static_cast<std::size_t>(v)] != -1) continue;  // already claimed
+      // Deterministic adoption: smallest root, then smallest sender.
+      Vertex best_root = -1;
+      Vertex best_from = -1;
+      for (const Received& r : net.inbox(v)) {
+        if (r.msg.words[0] != kWave) continue;
+        const Vertex root = static_cast<Vertex>(r.msg.words[1]);
+        if (best_root == -1 || root < best_root ||
+            (root == best_root && r.from < best_from)) {
+          best_root = root;
+          best_from = r.from;
+        }
+      }
+      if (best_root != -1) {
+        f.root[static_cast<std::size_t>(v)] = best_root;
+        f.depth[static_cast<std::size_t>(v)] = d + 1;
+        f.parent[static_cast<std::size_t>(v)] = best_from;
+        frontier.push_back(v);
+      }
+    }
+    std::sort(frontier.begin(), frontier.end());
+  }
+
+  // Join notifications: each spanned non-root tells its parent, so parents
+  // know their children (needed by the backtracking/broadcast steps).
+  for (Vertex v = 0; v < n; ++v) {
+    if (f.parent[static_cast<std::size_t>(v)] != -1) {
+      net.send(v, f.parent[static_cast<std::size_t>(v)], Message::of(kJoin));
+    }
+  }
+  net.advance_round();
+  return f;
+}
+
+}  // namespace usne::congest

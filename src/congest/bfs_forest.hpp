@@ -1,0 +1,40 @@
+#pragma once
+
+// Distributed BFS forest construction (CONGEST).
+//
+// A BFS exploration rooted at a set of source vertices runs for `depth`
+// rounds; every vertex joins the tree of the first root wave to reach it
+// (ties broken toward the smaller root id, then the smaller parent id).
+// Used by Task 3 of the superclustering step (paper §3.1.2): the forest F_i
+// is rooted at the ruling set S_i and explored to depth rul_i + delta_i.
+//
+// Round cost: exactly `depth` rounds, one 2-word message per edge per round
+// at the frontier.
+
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace usne::congest {
+
+/// The forest, described by per-vertex local knowledge (each vertex knows
+/// its root, depth and parent — that is what the real distributed execution
+/// gives each processor).
+struct BfsForest {
+  std::vector<Vertex> root;    // -1 if not spanned
+  std::vector<Dist> depth;     // kInfDist if not spanned
+  std::vector<Vertex> parent;  // -1 for roots / unspanned
+
+  bool spanned(Vertex v) const { return root[static_cast<std::size_t>(v)] != -1; }
+
+  /// Children lists derived from parents (local knowledge: a child's join
+  /// message tells the parent). Computed on demand for the backtracking step.
+  std::vector<std::vector<Vertex>> children() const;
+};
+
+/// Builds the forest. Consumes exactly `depth` + 1 rounds (`depth` waves
+/// plus one round for the final join notifications to parents).
+BfsForest build_bfs_forest(Network& net, const std::vector<Vertex>& roots,
+                           Dist depth);
+
+}  // namespace usne::congest

@@ -1,0 +1,122 @@
+#include "congest/detect.hpp"
+
+#include <algorithm>
+
+namespace usne::congest {
+namespace {
+
+constexpr Word kExplore = 4;  // <kExplore, source, dist>
+
+}  // namespace
+
+Dist DetectResult::distance_to(Vertex v, Vertex source) const {
+  for (const SourceHit& h : hits[static_cast<std::size_t>(v)]) {
+    if (h.source == source) return h.dist;
+  }
+  return kInfDist;
+}
+
+std::size_t DetectResult::heard_others(Vertex v) const {
+  std::size_t count = 0;
+  for (const SourceHit& h : hits[static_cast<std::size_t>(v)]) {
+    if (h.source != v) ++count;
+  }
+  return count;
+}
+
+std::vector<Vertex> DetectResult::path_to(Vertex v, Vertex source) const {
+  std::vector<Vertex> path;
+  Vertex cur = v;
+  while (cur != -1) {
+    path.push_back(cur);
+    if (cur == source) return path;
+    const auto& list = hits[static_cast<std::size_t>(cur)];
+    const auto it = std::find_if(list.begin(), list.end(), [&](const SourceHit& h) {
+      return h.source == source;
+    });
+    if (it == list.end()) return {};
+    cur = it->pred;
+  }
+  return {};
+}
+
+DetectResult detect_congest(Network& net, const std::vector<Vertex>& sources,
+                            Dist delta, std::int64_t cap) {
+  const Vertex n = net.num_vertices();
+  const std::int64_t start_rounds = net.stats().rounds;
+
+  DetectResult result;
+  result.hits.assign(static_cast<std::size_t>(n), {});
+
+  // Per-vertex list of sources learnt in the previous stride, to be
+  // forwarded in the current stride (at most `cap` of them).
+  std::vector<std::vector<SourceHit>> pending(static_cast<std::size_t>(n));
+  std::vector<Vertex> active;  // vertices with a non-empty pending list
+
+  std::vector<Vertex> sorted = sources;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const Vertex s : sorted) {
+    result.hits[static_cast<std::size_t>(s)].push_back({s, 0, -1});
+    pending[static_cast<std::size_t>(s)].push_back({s, 0, -1});
+    active.push_back(s);
+  }
+
+  for (Dist stride = 1; stride <= delta; ++stride) {
+    // `cap` rounds: in round t every active vertex broadcasts its t-th
+    // pending entry (one message per directed edge per round).
+    for (std::int64_t t = 0; t < cap; ++t) {
+      for (const Vertex v : active) {
+        const auto& list = pending[static_cast<std::size_t>(v)];
+        if (static_cast<std::int64_t>(list.size()) > t) {
+          const SourceHit& h = list[static_cast<std::size_t>(t)];
+          net.broadcast(v, Message::of(kExplore, h.source, h.dist));
+        }
+      }
+      net.advance_round();
+      // Collect newly-heard sources; they become next stride's pending.
+      for (const Vertex v : net.delivered_to()) {
+        auto& known = result.hits[static_cast<std::size_t>(v)];
+        for (const Received& r : net.inbox(v)) {
+          if (r.msg.words[0] != kExplore) continue;
+          const Vertex src = static_cast<Vertex>(r.msg.words[1]);
+          const Dist d = r.msg.words[2] + 1;
+          const bool duplicate =
+              std::any_of(known.begin(), known.end(),
+                          [&](const SourceHit& h) { return h.source == src; });
+          if (!duplicate) known.push_back({src, d, r.from});
+        }
+      }
+    }
+
+    // Stride boundary: recompute pending lists = sources learnt this stride,
+    // truncated to the cap (smallest (dist, id) first — deterministic
+    // specialization of the paper's arbitrary choice).
+    for (const Vertex v : active) pending[static_cast<std::size_t>(v)].clear();
+    active.clear();
+    for (Vertex v = 0; v < n; ++v) {
+      auto& known = result.hits[static_cast<std::size_t>(v)];
+      std::vector<SourceHit> fresh;
+      for (const SourceHit& h : known) {
+        if (h.dist == stride) fresh.push_back(h);
+      }
+      if (fresh.empty()) continue;
+      std::sort(fresh.begin(), fresh.end(), [](const SourceHit& a, const SourceHit& b) {
+        return a.source < b.source;  // equal dist within a stride
+      });
+      if (static_cast<std::int64_t>(fresh.size()) > cap) fresh.resize(static_cast<std::size_t>(cap));
+      pending[static_cast<std::size_t>(v)] = std::move(fresh);
+      active.push_back(v);
+    }
+  }
+
+  for (auto& known : result.hits) {
+    std::sort(known.begin(), known.end(), [](const SourceHit& a, const SourceHit& b) {
+      return a.dist != b.dist ? a.dist < b.dist : a.source < b.source;
+    });
+  }
+  result.rounds_used = net.stats().rounds - start_rounds;
+  return result;
+}
+
+}  // namespace usne::congest

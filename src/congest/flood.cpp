@@ -1,0 +1,38 @@
+#include "congest/flood.hpp"
+
+namespace usne::congest {
+namespace {
+
+constexpr Word kPresence = 3;  // <kPresence>
+
+}  // namespace
+
+FloodResult flood_presence(Network& net, const std::vector<Vertex>& sources,
+                           Dist depth) {
+  const Vertex n = net.num_vertices();
+  FloodResult result;
+  result.dist.assign(static_cast<std::size_t>(n), kInfDist);
+
+  std::vector<Vertex> frontier;
+  for (const Vertex s : sources) {
+    if (result.dist[static_cast<std::size_t>(s)] != 0) {
+      result.dist[static_cast<std::size_t>(s)] = 0;
+      frontier.push_back(s);
+    }
+  }
+
+  for (Dist d = 0; d < depth; ++d) {
+    for (const Vertex v : frontier) net.broadcast(v, Message::of(kPresence));
+    net.advance_round();
+    frontier.clear();
+    for (const Vertex v : net.delivered_to()) {
+      if (result.dist[static_cast<std::size_t>(v)] == kInfDist) {
+        result.dist[static_cast<std::size_t>(v)] = d + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace usne::congest

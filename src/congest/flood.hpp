@@ -1,0 +1,25 @@
+#pragma once
+
+// Presence flood: every vertex learns within `depth` rounds whether some
+// source vertex is within distance `depth` of it (and the exact distance to
+// the nearest source). One 1-word message per edge total.
+//
+// Used by the digit-sweep ruling set: each sweep step floods presence from
+// the candidates selected so far.
+
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace usne::congest {
+
+/// Result of a presence flood.
+struct FloodResult {
+  std::vector<Dist> dist;  // distance to nearest source, kInfDist if > depth
+};
+
+/// Runs the flood. Consumes exactly `depth` rounds.
+FloodResult flood_presence(Network& net, const std::vector<Vertex>& sources,
+                           Dist depth);
+
+}  // namespace usne::congest

@@ -1,0 +1,75 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace usne::congest {
+
+Network::Network(const Graph& g)
+    : graph_(&g),
+      inbox_(static_cast<std::size_t>(g.num_vertices())),
+      pending_(static_cast<std::size_t>(g.num_vertices())),
+      edge_round_stamp_(static_cast<std::size_t>(g.num_edges()) * 2, -1) {}
+
+std::int64_t Network::directed_edge_id(Vertex from, Vertex to) const {
+  const auto nbrs = graph_->neighbors(from);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+  if (it == nbrs.end() || *it != to) return -1;
+  // Directed edge slots are laid out as the CSR adjacency itself.
+  return (nbrs.data() - graph_->neighbors(0).data()) + (it - nbrs.begin());
+}
+
+void Network::send(Vertex from, Vertex to, const Message& msg) {
+  if (msg.size < 1 || msg.size > kMaxWords) {
+    throw CongestViolation("message exceeds O(1)-word cap: " +
+                           std::to_string(msg.size) + " words");
+  }
+  const std::int64_t eid = directed_edge_id(from, to);
+  if (eid < 0) {
+    throw CongestViolation("send along non-edge (" + std::to_string(from) +
+                           "," + std::to_string(to) + ")");
+  }
+  auto& stamp = edge_round_stamp_[static_cast<std::size_t>(eid)];
+  if (stamp == stats_.rounds) {
+    throw CongestViolation("second message on edge (" + std::to_string(from) +
+                           "," + std::to_string(to) + ") in round " +
+                           std::to_string(stats_.rounds));
+  }
+  stamp = stats_.rounds;
+
+  auto& queue = pending_[static_cast<std::size_t>(to)];
+  if (queue.empty()) pending_nodes_.push_back(to);
+  queue.push_back({from, msg});
+  ++stats_.messages;
+  stats_.words += msg.size;
+}
+
+void Network::broadcast(Vertex from, const Message& msg) {
+  for (const Vertex to : graph_->neighbors(from)) send(from, to, msg);
+}
+
+void Network::advance_round() {
+  // Clear the previous round's inboxes.
+  for (const Vertex v : delivered_) inbox_[static_cast<std::size_t>(v)].clear();
+  delivered_.clear();
+
+  // Deliver pending messages.
+  std::sort(pending_nodes_.begin(), pending_nodes_.end());
+  for (const Vertex v : pending_nodes_) {
+    inbox_[static_cast<std::size_t>(v)].swap(pending_[static_cast<std::size_t>(v)]);
+    // Deterministic processing order for receivers.
+    auto& box = inbox_[static_cast<std::size_t>(v)];
+    std::sort(box.begin(), box.end(), [](const Received& a, const Received& b) {
+      return a.from < b.from;
+    });
+    delivered_.push_back(v);
+  }
+  pending_nodes_.clear();
+  ++stats_.rounds;
+}
+
+void Network::advance_rounds(std::int64_t k) {
+  for (std::int64_t i = 0; i < k; ++i) advance_round();
+}
+
+}  // namespace usne::congest

@@ -1,0 +1,115 @@
+#pragma once
+
+// Synchronous CONGEST-model network simulator.
+//
+// Processors live on the vertices of the input graph G and communicate with
+// graph neighbours in synchronous rounds. Per the CONGEST model (paper
+// §1.5.1), a message is O(1) words (O(log n) bits); we enforce a hard cap of
+// kMaxWords words per message and one message per directed edge per round.
+// Violating either cap throws CongestViolation — the model is enforced, not
+// merely assumed, and the test suite injects violations to prove it.
+//
+// The simulator meters rounds, messages and words; the distributed
+// experiments (bench E4) report these against the paper's O(beta * n^rho)
+// bound. Rounds with no traffic still count (algorithms in this repository
+// run on fixed, parameter-determined schedules exactly like the paper's).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace usne::congest {
+
+/// One machine word as transmitted on an edge.
+using Word = std::int64_t;
+
+/// Maximum words per message ("O(1) words").
+inline constexpr int kMaxWords = 4;
+
+/// A CONGEST message: up to kMaxWords words.
+struct Message {
+  Word words[kMaxWords] = {};
+  int size = 0;
+
+  static Message of(Word a) { return Message{{a, 0, 0, 0}, 1}; }
+  static Message of(Word a, Word b) { return Message{{a, b, 0, 0}, 2}; }
+  static Message of(Word a, Word b, Word c) { return Message{{a, b, c, 0}, 3}; }
+  static Message of(Word a, Word b, Word c, Word d) {
+    return Message{{a, b, c, d}, 4};
+  }
+};
+
+/// A delivered message, tagged with the sending neighbour.
+struct Received {
+  Vertex from = -1;
+  Message msg;
+};
+
+/// Thrown when an algorithm violates the CONGEST constraints.
+class CongestViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Cumulative traffic statistics.
+struct NetworkStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+};
+
+/// The simulator. One instance per algorithm execution; primitives send
+/// during a round and call advance_round() to deliver.
+class Network {
+ public:
+  explicit Network(const Graph& g);
+
+  const Graph& graph() const noexcept { return *graph_; }
+  Vertex num_vertices() const noexcept { return graph_->num_vertices(); }
+
+  /// Sends `msg` from `from` to neighbouring vertex `to` for delivery at the
+  /// start of the next round. Throws CongestViolation if (from,to) is not an
+  /// edge, the message exceeds kMaxWords, or a second message is sent on the
+  /// same directed edge within one round.
+  void send(Vertex from, Vertex to, const Message& msg);
+
+  /// Sends `msg` from `from` to every neighbour (one message per edge).
+  void broadcast(Vertex from, const Message& msg);
+
+  /// Ends the current round: delivers all pending messages.
+  void advance_round();
+
+  /// Advances `k` rounds (the first delivers pending messages; the rest are
+  /// idle rounds that still count, matching fixed schedules).
+  void advance_rounds(std::int64_t k);
+
+  /// Messages delivered to v at the start of the current round.
+  std::span<const Received> inbox(Vertex v) const {
+    return inbox_[static_cast<std::size_t>(v)];
+  }
+
+  /// Vertices with a non-empty inbox this round (deterministic order).
+  const std::vector<Vertex>& delivered_to() const noexcept {
+    return delivered_;
+  }
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::int64_t directed_edge_id(Vertex from, Vertex to) const;
+
+  const Graph* graph_ = nullptr;
+  std::vector<std::vector<Received>> inbox_;    // current round
+  std::vector<std::vector<Received>> pending_;  // next round
+  std::vector<Vertex> delivered_;               // nodes with non-empty inbox
+  std::vector<Vertex> pending_nodes_;           // nodes with pending messages
+  // Per-directed-edge round stamp for the one-message-per-edge cap; lazily
+  // reset by comparing against the current round number.
+  std::vector<std::int64_t> edge_round_stamp_;
+  NetworkStats stats_;
+};
+
+}  // namespace usne::congest

@@ -1,0 +1,56 @@
+#include "congest/ruling_set.hpp"
+
+#include <algorithm>
+
+#include "congest/flood.hpp"
+#include "util/math.hpp"
+
+namespace usne::congest {
+
+RulingSet compute_ruling_set(Network& net, const std::vector<Vertex>& w,
+                             Dist q, std::int64_t base) {
+  base = std::max<std::int64_t>(base, 2);
+  const std::int64_t start_rounds = net.stats().rounds;
+  const int levels = digits_in_base(net.num_vertices(), base);
+
+  RulingSet result;
+  result.separation = q + 2;
+  result.covering = static_cast<Dist>(levels) * (q + 1);
+
+  std::vector<Vertex> candidates = w;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (int level = levels - 1; level >= 0 && candidates.size() > 1; --level) {
+    std::vector<Vertex> selected;          // survivors of this level so far
+    std::vector<Vertex> last_batch;        // selected in the previous sweep step
+    std::vector<bool> covered(static_cast<std::size_t>(net.num_vertices()), false);
+
+    for (std::int64_t val = base - 1; val >= 0; --val) {
+      // Presence flood from the most recent batch; coverage accumulates.
+      const FloodResult flood = flood_presence(net, last_batch, q + 1);
+      for (Vertex v = 0; v < net.num_vertices(); ++v) {
+        if (flood.dist[static_cast<std::size_t>(v)] != kInfDist) {
+          covered[static_cast<std::size_t>(v)] = true;
+        }
+      }
+      last_batch.clear();
+      for (const Vertex v : candidates) {
+        if (digit_at(v, base, level) != val) continue;
+        if (!covered[static_cast<std::size_t>(v)]) {
+          selected.push_back(v);
+          last_batch.push_back(v);
+        }
+      }
+    }
+    std::sort(selected.begin(), selected.end());
+    candidates = std::move(selected);
+  }
+
+  result.members = std::move(candidates);
+  result.rounds_used = net.stats().rounds - start_rounds;
+  return result;
+}
+
+}  // namespace usne::congest

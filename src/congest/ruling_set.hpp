@@ -1,0 +1,42 @@
+#pragma once
+
+// Deterministic distributed ruling sets (CONGEST).
+//
+// Implements a digit-sweep construction in the family of [SEW13] (paper
+// Theorem 3.2). Vertex IDs are written in base `b` (c = ceil(log_b n)
+// digits). Digits are processed most-significant first; within one digit
+// level, digit values are swept from high to low, and a candidate whose
+// digit equals the current value survives the level iff no already-selected
+// candidate of this level lies within distance q+1 of it (checked with a
+// presence flood). After all levels, any two survivors within distance q+1
+// would have identical IDs, so the survivor set A satisfies:
+//
+//   * separation: d_G(u, v) >= q + 2 > q + 1 for distinct u, v in A,
+//   * covering:   d_G(w, A) <= c * (q + 1) for every w in W,
+//
+// i.e. A is a (q+2, c*(q+1))-ruling set for W — same family as the paper's
+// (q+1, cq) with time O(b * c * q). The emulator's parameter engine uses the
+// *actual* covering radius rul = c*(q+1) of this construction in the R_i
+// recurrence, so all stretch guarantees remain sound (DESIGN.md §4.2).
+
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace usne::congest {
+
+/// Result of the ruling-set computation.
+struct RulingSet {
+  std::vector<Vertex> members;  // the ruling set A, ascending
+  Dist separation = 0;          // guaranteed minimum pairwise distance (q+2)
+  Dist covering = 0;            // guaranteed covering radius c*(q+1)
+  std::int64_t rounds_used = 0;
+};
+
+/// Computes a ruling set for W with separation parameter q (pairwise
+/// distance > q+1) using ID digits in base `base` (>= 2).
+/// Consumes O(base * c * q) rounds on `net`.
+RulingSet compute_ruling_set(Network& net, const std::vector<Vertex>& w,
+                             Dist q, std::int64_t base);
+
+}  // namespace usne::congest

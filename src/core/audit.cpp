@@ -1,0 +1,191 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "path/bfs.hpp"
+#include "path/dijkstra.hpp"
+#include "util/math.hpp"
+
+namespace usne {
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "audit: ok";
+  std::ostringstream out;
+  out << "audit: " << failures.size() << " failure(s)\n";
+  for (const auto& f : failures) out << "  - " << f << '\n';
+  return out.str();
+}
+
+AuditReport audit_partitions(const BuildResult& result, Vertex n) {
+  AuditReport report;
+  if (result.partitions.empty()) {
+    report.fail("no partition snapshots (keep_audit_data was off?)");
+    return report;
+  }
+
+  // Per-phase: P_i is a partial partition; P_i plus clusters already in U
+  // covers V exactly (Lemma 2.8).
+  for (std::size_t i = 0; i < result.partitions.size(); ++i) {
+    const auto& p = result.partitions[i];
+    if (!is_partial_partition(p, n)) {
+      report.fail("P_" + std::to_string(i) + " is not a partial partition");
+      continue;
+    }
+    std::vector<bool> covered(static_cast<std::size_t>(n), false);
+    for (const Cluster& c : p) {
+      for (const Vertex v : c.members) covered[static_cast<std::size_t>(v)] = true;
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      const int lvl = result.u_level[static_cast<std::size_t>(v)];
+      const bool in_u_before = lvl >= 0 && lvl < static_cast<int>(i);
+      if (covered[static_cast<std::size_t>(v)] == in_u_before) {
+        report.fail("vertex " + std::to_string(v) + " violates Lemma 2.8 at P_" +
+                    std::to_string(i));
+        break;
+      }
+    }
+  }
+
+  // U^(ell) partitions V: every vertex has a U-level.
+  for (Vertex v = 0; v < n; ++v) {
+    if (result.u_level[static_cast<std::size_t>(v)] < 0) {
+      report.fail("vertex " + std::to_string(v) + " never joined any U_i");
+      break;
+    }
+  }
+  return report;
+}
+
+AuditReport audit_laminarity(const BuildResult& result) {
+  AuditReport report;
+  if (result.partitions.size() < 2) return report;
+  const std::size_t levels = result.partitions.size();
+  // For each consecutive pair: every member set of P_{i+1} must be a union
+  // of member sets of P_i. Use a vertex -> cluster map of P_i.
+  for (std::size_t i = 0; i + 1 < levels; ++i) {
+    std::unordered_map<Vertex, std::int32_t> owner;
+    for (std::size_t c = 0; c < result.partitions[i].size(); ++c) {
+      for (const Vertex v : result.partitions[i][c].members) {
+        owner[v] = static_cast<std::int32_t>(c);
+      }
+    }
+    for (const Cluster& super : result.partitions[i + 1]) {
+      // Count how many members of each P_i cluster appear; all-or-nothing.
+      std::unordered_map<std::int32_t, std::size_t> seen;
+      for (const Vertex v : super.members) {
+        const auto it = owner.find(v);
+        if (it == owner.end()) {
+          report.fail("P_" + std::to_string(i + 1) +
+                      " contains a vertex outside P_" + std::to_string(i));
+          return report;
+        }
+        ++seen[it->second];
+      }
+      for (const auto& [c, count] : seen) {
+        if (count != result.partitions[i][static_cast<std::size_t>(c)].members.size()) {
+          report.fail("cluster of P_" + std::to_string(i + 1) +
+                      " splits a cluster of P_" + std::to_string(i) +
+                      " (laminarity violated, Lemma 2.9)");
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_radii(const BuildResult& result, const PhaseSchedule& sched) {
+  AuditReport report;
+  for (std::size_t i = 0; i < result.partitions.size() && i < sched.radius.size();
+       ++i) {
+    const Dist bound = sched.radius[i];
+    for (const Cluster& c : result.partitions[i]) {
+      if (c.members.size() <= 1) continue;
+      const std::vector<Dist> dist = dijkstra(result.h, c.center);
+      for (const Vertex v : c.members) {
+        if (dist[static_cast<std::size_t>(v)] > bound) {
+          report.fail("Rad violation at P_" + std::to_string(i) + ": center " +
+                      std::to_string(c.center) + " to " + std::to_string(v) +
+                      " = " + std::to_string(dist[static_cast<std::size_t>(v)]) +
+                      " > R_i = " + std::to_string(bound));
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_charging(const BuildResult& result, Vertex n, int kappa) {
+  AuditReport report;
+
+  for (const PhaseStats& p : result.phases) {
+    // Interconnection: < deg_i edges per U_i cluster (paper: unpopular means
+    // |Gamma| < deg_i). Allow the U_i == 0 degenerate case.
+    const double ic_bound =
+        static_cast<double>(p.unclustered) * p.deg_threshold;
+    if (static_cast<double>(p.interconnect_edges) > ic_bound + 1e-6) {
+      report.fail("phase " + std::to_string(p.phase) +
+                  ": interconnection edges " + std::to_string(p.interconnect_edges) +
+                  " exceed |U_i| * deg_i = " + std::to_string(ic_bound));
+    }
+    // Superclustering (incl. buffer joins): exactly |P_i| - |U_i| - |P_{i+1}|
+    // insertions for the centralized build; distributed interconnection may
+    // double-log symmetric pairs, so we check <=.
+    const std::int64_t sc_bound = p.clusters_in - p.unclustered - p.clusters_out;
+    if (p.supercluster_edges + p.buffer_join_edges > std::max<std::int64_t>(sc_bound, 0)) {
+      report.fail("phase " + std::to_string(p.phase) + ": superclustering edges " +
+                  std::to_string(p.supercluster_edges + p.buffer_join_edges) +
+                  " exceed |P_i| - |U_i| - |P_{i+1}| = " + std::to_string(sc_bound));
+    }
+  }
+
+  const std::int64_t bound = size_bound_edges(n, kappa);
+  if (result.h.num_edges() > bound) {
+    report.fail("|H| = " + std::to_string(result.h.num_edges()) +
+                " exceeds n^(1+1/kappa) = " + std::to_string(bound));
+  }
+  return report;
+}
+
+AuditReport audit_edge_weights(const BuildResult& result, const Graph& g,
+                               bool exact) {
+  AuditReport report;
+  // Group edges by endpoint u and BFS once per distinct u.
+  std::vector<std::vector<std::pair<Vertex, Dist>>> by_u(
+      static_cast<std::size_t>(g.num_vertices()));
+  for (const WeightedEdge& e : result.h.edges()) {
+    by_u[static_cast<std::size_t>(e.u)].push_back({e.v, e.w});
+  }
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (by_u[static_cast<std::size_t>(u)].empty()) continue;
+    const std::vector<Dist> dist = bfs_distances(g, u);
+    for (const auto& [v, w] : by_u[static_cast<std::size_t>(u)]) {
+      const Dist d = dist[static_cast<std::size_t>(v)];
+      if (w < d || (exact && w != d)) {
+        report.fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
+                    ") weight " + std::to_string(w) + " vs d_G " +
+                    std::to_string(d));
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_all(const BuildResult& result, const Graph& g,
+                      const PhaseSchedule& sched, int kappa,
+                      bool exact_weights) {
+  AuditReport report;
+  for (AuditReport r :
+       {audit_partitions(result, g.num_vertices()), audit_laminarity(result),
+        audit_radii(result, sched), audit_charging(result, g.num_vertices(), kappa),
+        audit_edge_weights(result, g, exact_weights)}) {
+    for (auto& f : r.failures) report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace usne

@@ -1,0 +1,63 @@
+#pragma once
+
+// Invariant auditors mirroring the paper's analysis:
+//
+//   Lemma 2.1 / 3.5:  superclusters contain >= deg_i + 1 clusters
+//                     (root superclusters; hub superclusters >= 2deg_i + 2),
+//   Lemma 2.2:        superclusters of a phase are pairwise disjoint,
+//   Lemma 2.5 / 3.8:  Rad(P_i) <= R_i (cluster radii measured in H),
+//   Lemma 2.8:        P_i u U^(i-1) is a partition of V,
+//   Lemma 2.9:        partitions are laminar across phases,
+//   eq. (2)-(4)/(18): per-phase edge counts within the charging bounds,
+//   Lemma 2.4 / eq. (19): |H| <= n^(1+1/kappa).
+//
+// The auditors consume the BuildResult bundle produced with
+// keep_audit_data=true and report human-readable failures.
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace usne {
+
+/// Outcome of an audit: ok() iff no failure messages.
+struct AuditReport {
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string to_string() const;
+  void fail(std::string message) { failures.push_back(std::move(message)); }
+};
+
+/// Checks partition validity of every snapshot and that the U-levels tile V
+/// (Lemma 2.8 + the final U^(ell) partition).
+AuditReport audit_partitions(const BuildResult& result, Vertex n);
+
+/// Checks laminarity: every cluster of P_{i+1} is a union of clusters of
+/// P_i (Lemma 2.9).
+AuditReport audit_laminarity(const BuildResult& result);
+
+/// Checks cluster radii against the schedule's R_i, measured as distances
+/// in H from the cluster center to members (Lemma 2.5 / 3.8).
+/// Radii are verified on P_i snapshots for i in [1, ell].
+AuditReport audit_radii(const BuildResult& result, const PhaseSchedule& sched);
+
+/// Checks the per-phase charging bounds: interconnection insertions
+/// <= |U_i| * deg_i and superclustering insertions <= |P_i| - |P_{i+1}|
+/// (counted per insertion attempt, as in the analysis), plus the total
+/// size bound |H| <= n^(1+1/kappa).
+AuditReport audit_charging(const BuildResult& result, Vertex n, int kappa);
+
+/// Checks every emulator edge weight is >= the exact distance in G
+/// (emulator validity) — and == when `exact` is set (centralized builds).
+AuditReport audit_edge_weights(const BuildResult& result, const Graph& g,
+                               bool exact);
+
+/// Runs all audits applicable to an emulator build.
+AuditReport audit_all(const BuildResult& result, const Graph& g,
+                      const PhaseSchedule& sched, int kappa, bool exact_weights);
+
+}  // namespace usne

@@ -1,0 +1,69 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace usne {
+
+const char* edge_kind_name(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kInterconnect: return "interconnect";
+    case EdgeKind::kSupercluster: return "supercluster";
+    case EdgeKind::kBufferJoin: return "buffer-join";
+    case EdgeKind::kSpannerPath: return "spanner-path";
+    case EdgeKind::kGroundPartition: return "ground-partition";
+  }
+  return "?";
+}
+
+std::int64_t BuildResult::interconnect_edges() const {
+  std::int64_t count = 0;
+  for (const PhaseStats& p : phases) count += p.interconnect_edges;
+  return count;
+}
+
+std::int64_t BuildResult::supercluster_edges() const {
+  std::int64_t count = 0;
+  for (const PhaseStats& p : phases) {
+    count += p.supercluster_edges + p.buffer_join_edges;
+  }
+  return count;
+}
+
+std::string BuildResult::summary() const {
+  std::ostringstream out;
+  out << "|H|=" << h.num_edges() << " phases=" << phases.size();
+  for (const PhaseStats& p : phases) {
+    out << " [i=" << p.phase << " |P|=" << p.clusters_in << " |U|=" << p.unclustered
+        << " pop=" << p.popular << " ic=" << p.interconnect_edges
+        << " sc=" << p.supercluster_edges << " bj=" << p.buffer_join_edges << "]";
+  }
+  if (total_rounds > 0) out << " rounds=" << total_rounds;
+  return out.str();
+}
+
+std::vector<Cluster> singleton_partition(Vertex n) {
+  std::vector<Cluster> p0(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    p0[static_cast<std::size_t>(v)].center = v;
+    p0[static_cast<std::size_t>(v)].members = {v};
+  }
+  return p0;
+}
+
+bool is_partial_partition(const std::vector<Cluster>& clusters, Vertex n) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const Cluster& c : clusters) {
+    if (c.center < 0 || c.center >= n) return false;
+    bool center_found = false;
+    for (const Vertex v : c.members) {
+      if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+      seen[static_cast<std::size_t>(v)] = true;
+      center_found |= (v == c.center);
+    }
+    if (!center_found) return false;
+  }
+  return true;
+}
+
+}  // namespace usne

@@ -1,0 +1,98 @@
+#pragma once
+
+// Cluster and partial-partition machinery shared by all SAI constructions,
+// plus the per-build bookkeeping (edge charging log, phase statistics,
+// partition snapshots) that the audit module and the benches consume.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+/// A cluster: a designated center r_C in C plus the member vertices.
+struct Cluster {
+  Vertex center = -1;
+  std::vector<Vertex> members;  // includes center
+
+  std::size_t size() const { return members.size(); }
+};
+
+/// How an emulator/spanner edge was inserted — mirrors the paper's charging
+/// argument (§2.2.1): interconnection edges are charged to the unpopular
+/// center that added them; superclustering edges to the center that joined
+/// a new supercluster; buffer-join edges (centralized N_i mechanism) to the
+/// buffered center that fell back to its supercluster.
+enum class EdgeKind : std::uint8_t {
+  kInterconnect,
+  kSupercluster,
+  kBufferJoin,
+  kSpannerPath,
+  kGroundPartition,  // [EP01] baseline only
+};
+
+const char* edge_kind_name(EdgeKind kind);
+
+/// One logged edge insertion. Duplicate inserts into the WeightedGraph are
+/// still logged — the charging audit counts attempted insertions exactly as
+/// the paper's analysis does.
+struct ChargedEdge {
+  Vertex u = -1;
+  Vertex v = -1;
+  Dist w = 0;
+  int phase = -1;
+  EdgeKind kind = EdgeKind::kInterconnect;
+  Vertex charged_to = -1;
+};
+
+/// Per-phase counters reported by the builders.
+struct PhaseStats {
+  int phase = -1;
+  std::int64_t clusters_in = 0;        // |P_i|
+  std::int64_t clusters_out = 0;       // |P_{i+1}|
+  std::int64_t unclustered = 0;        // |U_i|
+  std::int64_t popular = 0;            // number of popular clusters seen
+  std::int64_t interconnect_edges = 0;
+  std::int64_t supercluster_edges = 0;
+  std::int64_t buffer_join_edges = 0;
+  std::int64_t hub_events = 0;  // distributed Task 3: vertices that split
+  double deg_threshold = 0;
+  Dist delta = 0;
+  // Distributed builds only:
+  std::int64_t rounds = 0;
+  std::int64_t rounds_detect = 0;
+  std::int64_t rounds_ruling = 0;
+  std::int64_t rounds_forest = 0;
+  std::int64_t rounds_backtrack = 0;
+  std::int64_t rounds_interconnect = 0;
+};
+
+/// Full output of a SAI build: the emulator/spanner H plus everything the
+/// audits need. The partition snapshots record P_i at the *start* of each
+/// phase i (snapshot[i] = P_i), with snapshot[ell+1] = P_{ell+1} (empty for
+/// a correct run).
+struct BuildResult {
+  WeightedGraph h;
+  std::vector<PhaseStats> phases;
+  std::vector<ChargedEdge> edge_log;
+  std::vector<std::vector<Cluster>> partitions;  // P_0 .. P_{ell+1}
+  std::vector<int> u_level;     // per vertex: phase i with v in some C in U_i
+  std::vector<Vertex> u_center; // per vertex: center of that cluster
+  std::int64_t total_rounds = 0;  // distributed builds; 0 otherwise
+
+  std::int64_t interconnect_edges() const;
+  std::int64_t supercluster_edges() const;
+  std::string summary() const;
+};
+
+/// Builds the singleton partition P_0 = {{v} : v in V}.
+std::vector<Cluster> singleton_partition(Vertex n);
+
+/// True if `clusters` form a partial partition of [0, n): members pairwise
+/// disjoint, centers belong to their own cluster.
+bool is_partial_partition(const std::vector<Cluster>& clusters, Vertex n);
+
+}  // namespace usne

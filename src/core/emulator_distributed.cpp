@@ -1,0 +1,508 @@
+#include "core/emulator_distributed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "congest/bfs_forest.hpp"
+#include "congest/detect.hpp"
+#include "congest/ruling_set.hpp"
+
+namespace usne {
+namespace {
+
+using congest::BfsForest;
+using congest::DetectResult;
+using congest::Message;
+using congest::Network;
+using congest::Received;
+using congest::RulingSet;
+using congest::Word;
+
+// Message tags used by the backtracking convergecast / notification epochs.
+// (Disjoint from the tags of the congest/ primitives.)
+constexpr Word kUp = 10;         // <kUp, origin, origin_depth>
+constexpr Word kNotify = 11;     // <kNotify, origin, center, weight>  routed
+constexpr Word kGroupEdge = 12;  // <kGroupEdge, center, origin, weight>  broadcast
+
+/// An up-travelling convergecast message.
+struct UpMsg {
+  Vertex origin = -1;
+  Dist origin_depth = 0;
+};
+
+/// State shared across the helpers of one build.
+struct Builder {
+  const Graph* g = nullptr;
+  const DistributedParams* params = nullptr;
+  DistributedOptions options;
+  Network net;
+  DistributedBuildResult out;
+
+  // Phase-local: clusters of P_i and index-by-center.
+  std::vector<Cluster> current;
+  std::vector<std::int32_t> cluster_of;  // center -> index in current, else -1
+  std::vector<bool> superclustered;      // per center, this phase
+
+  explicit Builder(const Graph& graph) : g(&graph), net(graph) {}
+
+  void log_edge(Vertex u, Vertex v, Dist w, int phase, EdgeKind kind,
+                Vertex charged) {
+    out.base.h.add_edge(u, v, w);
+    if (options.keep_audit_data) {
+      out.base.edge_log.push_back({u, v, w, phase, kind, charged});
+    }
+  }
+
+  void learn_local(Vertex v, Vertex other, Dist w) {
+    auto& list = out.local[static_cast<std::size_t>(v)];
+    for (auto& [o, weight] : list) {
+      if (o == other) {
+        weight = std::min(weight, w);
+        return;
+      }
+    }
+    list.emplace_back(other, w);
+  }
+
+  bool is_center(Vertex v) const {
+    const std::int32_t c = cluster_of[static_cast<std::size_t>(v)];
+    return c != -1 && current[static_cast<std::size_t>(c)].center == v;
+  }
+};
+
+/// Runs the backtracking convergecast with hub splitting (Task 3 second
+/// half). Fills `next` with the new superclusters and marks joined centers.
+void backtrack_superclusters(Builder& b, const BfsForest& forest, int phase,
+                             double deg, PhaseStats& stats,
+                             std::vector<Cluster>& next) {
+  const Graph& g = *b.g;
+  const Vertex n = g.num_vertices();
+  const Dist delta = b.params->schedule.delta[static_cast<std::size_t>(phase)];
+  const Dist rul = b.params->rul[static_cast<std::size_t>(phase)];
+  const Dist depth_limit = rul + delta;
+  const std::int64_t capdeg =
+      static_cast<std::int64_t>(std::ceil(deg - 1e-9));
+  const std::int64_t factor = std::max(1, b.options.hub_threshold_factor);
+  const std::int64_t hub_threshold = factor * capdeg + 2;
+  const std::int64_t stride_rounds = factor * capdeg + 2;
+
+  const std::vector<std::vector<Vertex>> children = forest.children();
+
+  // Vertices bucketed by tree depth (senders of stride s have depth
+  // depth_limit - s).
+  std::vector<std::vector<Vertex>> by_depth(
+      static_cast<std::size_t>(depth_limit) + 1);
+  for (Vertex v = 0; v < n; ++v) {
+    if (forest.spanned(v) && forest.depth[static_cast<std::size_t>(v)] > 0) {
+      by_depth[static_cast<std::size_t>(forest.depth[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+  }
+
+  // Collected messages and per-origin routing (which child delivered it).
+  std::vector<std::vector<UpMsg>> collected(static_cast<std::size_t>(n));
+  std::vector<std::map<Vertex, Vertex>> route(static_cast<std::size_t>(n));
+
+  // Seed: every spanned center holds its own message.
+  for (Vertex v = 0; v < n; ++v) {
+    if (forest.spanned(v) && b.is_center(v)) {
+      collected[static_cast<std::size_t>(v)].push_back(
+          {v, forest.depth[static_cast<std::size_t>(v)]});
+    }
+  }
+
+  // New superclusters discovered during the strides; center -> index.
+  auto new_super = [&](Vertex center) -> Cluster& {
+    Cluster c;
+    c.center = center;
+    next.push_back(std::move(c));
+    return next.back();
+  };
+  auto join = [&](Cluster& super, Vertex origin) {
+    const Cluster& cl = b.current[static_cast<std::size_t>(
+        b.cluster_of[static_cast<std::size_t>(origin)])];
+    super.members.insert(super.members.end(), cl.members.begin(),
+                         cl.members.end());
+    b.superclustered[static_cast<std::size_t>(origin)] = true;
+  };
+
+  // Down-notification queues: per (node, neighbour) pipelines.
+  std::vector<std::deque<std::pair<Vertex, Message>>> down(
+      static_cast<std::size_t>(n));
+  std::int64_t queued = 0;
+  auto enqueue_down = [&](Vertex from, Vertex to, const Message& m) {
+    down[static_cast<std::size_t>(from)].push_back({to, m});
+    ++queued;
+  };
+
+  // ---- Strides ----
+  for (Dist s = 0; s < depth_limit; ++s) {
+    const Dist sender_depth = depth_limit - s;
+    const auto& senders = by_depth[static_cast<std::size_t>(sender_depth)];
+
+    // Hub decisions happen at send time.
+    std::vector<std::pair<Vertex, std::vector<UpMsg>>> to_send;
+    for (const Vertex v : senders) {
+      auto& m = collected[static_cast<std::size_t>(v)];
+      if (m.empty()) continue;
+      if (static_cast<std::int64_t>(m.size()) < hub_threshold) {
+        to_send.emplace_back(v, std::move(m));
+        m.clear();
+        continue;
+      }
+
+      // --- v is a hub. ---
+      ++stats.hub_events;
+      const Dist dv = forest.depth[static_cast<std::size_t>(v)];
+      if (b.is_center(v)) {
+        // v forms a single supercluster around itself.
+        Cluster& super = new_super(v);
+        join(super, v);
+        for (const UpMsg& um : m) {
+          if (um.origin == v) continue;
+          const Dist w = um.origin_depth - dv;
+          b.log_edge(v, um.origin, w, phase, EdgeKind::kSupercluster, um.origin);
+          ++stats.supercluster_edges;
+          b.learn_local(v, um.origin, w);
+          join(super, um.origin);
+          enqueue_down(v, route[static_cast<std::size_t>(v)][um.origin],
+                       Message::of(kNotify, um.origin, v, w));
+        }
+      } else {
+        // Partition children greedily into groups of message count in
+        // [2deg+2, 6deg+6]; one supercluster per group.
+        std::map<Vertex, std::vector<UpMsg>> per_child;
+        for (const UpMsg& um : m) {
+          per_child[route[static_cast<std::size_t>(v)][um.origin]].push_back(um);
+        }
+        std::vector<std::vector<Vertex>> groups;  // children per group
+        std::vector<std::int64_t> group_count;
+        groups.emplace_back();
+        group_count.push_back(0);
+        for (const auto& [child, msgs] : per_child) {
+          groups.back().push_back(child);
+          group_count.back() += static_cast<std::int64_t>(msgs.size());
+          if (group_count.back() >= hub_threshold) {
+            groups.emplace_back();
+            group_count.push_back(0);
+          }
+        }
+        if (group_count.back() < hub_threshold && groups.size() > 1) {
+          // Merge the underfull tail group into its predecessor.
+          auto tail = std::move(groups.back());
+          groups.pop_back();
+          group_count[groups.size() - 1] += group_count.back();
+          group_count.pop_back();
+          for (const Vertex c : tail) groups.back().push_back(c);
+        }
+        for (const auto& group : groups) {
+          // Z_j: origins delivered via this group's children.
+          std::vector<UpMsg> z;
+          for (const Vertex c : group) {
+            const auto& msgs = per_child[c];
+            z.insert(z.end(), msgs.begin(), msgs.end());
+          }
+          if (z.empty()) continue;
+          const Vertex r =
+              std::min_element(z.begin(), z.end(), [](const UpMsg& a, const UpMsg& x) {
+                return a.origin < x.origin;
+              })->origin;
+          Dist r_depth = 0;
+          for (const UpMsg& um : z) {
+            if (um.origin == r) r_depth = um.origin_depth;
+          }
+          Cluster& super = new_super(r);
+          for (const UpMsg& um : z) {
+            join(super, um.origin);
+            if (um.origin == r) continue;
+            const Dist w = (um.origin_depth - dv) + (r_depth - dv);
+            b.log_edge(r, um.origin, w, phase, EdgeKind::kSupercluster, um.origin);
+            ++stats.supercluster_edges;
+          }
+          // Broadcast <center, origin, weight> down the group's subtrees;
+          // every member of Z_j (including r) learns its part.
+          for (const Vertex c : group) {
+            for (const UpMsg& um : z) {
+              if (um.origin == r) continue;
+              const Dist w = (um.origin_depth - dv) + (r_depth - dv);
+              enqueue_down(v, c, Message::of(kGroupEdge, r, um.origin, w));
+            }
+          }
+        }
+      }
+      m.clear();
+    }
+
+    // Transmit: stride_rounds rounds, one pending message per round.
+    for (std::int64_t t = 0; t < stride_rounds; ++t) {
+      for (const auto& [v, msgs] : to_send) {
+        if (static_cast<std::int64_t>(msgs.size()) > t) {
+          const UpMsg& um = msgs[static_cast<std::size_t>(t)];
+          b.net.send(v, forest.parent[static_cast<std::size_t>(v)],
+                     Message::of(kUp, um.origin, um.origin_depth));
+        }
+      }
+      b.net.advance_round();
+      for (const Vertex v : b.net.delivered_to()) {
+        for (const Received& r : b.net.inbox(v)) {
+          if (r.msg.words[0] != kUp) continue;
+          const Vertex origin = static_cast<Vertex>(r.msg.words[1]);
+          collected[static_cast<std::size_t>(v)].push_back(
+              {origin, r.msg.words[2]});
+          route[static_cast<std::size_t>(v)][origin] = r.from;
+        }
+      }
+    }
+  }
+
+  // ---- Root consumption ----
+  for (Vertex v = 0; v < n; ++v) {
+    if (!forest.spanned(v) || forest.depth[static_cast<std::size_t>(v)] != 0) {
+      continue;
+    }
+    auto& m = collected[static_cast<std::size_t>(v)];
+    // The root is popular (ruling set member), so it always forms its
+    // supercluster, even if every neighbour was consumed by hubs.
+    Cluster& super = new_super(v);
+    if (b.is_center(v)) join(super, v);
+    for (const UpMsg& um : m) {
+      if (um.origin == v) continue;
+      const Dist w = um.origin_depth;  // root depth is 0; exact BFS distance
+      b.log_edge(v, um.origin, w, phase, EdgeKind::kSupercluster, um.origin);
+      ++stats.supercluster_edges;
+      b.learn_local(v, um.origin, w);
+      join(super, um.origin);
+      enqueue_down(v, route[static_cast<std::size_t>(v)][um.origin],
+                   Message::of(kNotify, um.origin, v, w));
+    }
+    m.clear();
+  }
+
+  // ---- Notification epoch ----
+  // Routed notifies and group broadcasts flow down; pipelined one message
+  // per edge per round. Fixed schedule: depth_limit + 8*capdeg + 16 rounds.
+  const std::int64_t epoch = depth_limit + 4 * factor * capdeg + 16;
+  for (std::int64_t t = 0; t < epoch; ++t) {
+    bool any = false;
+    for (Vertex v = 0; v < n; ++v) {
+      auto& queue = down[static_cast<std::size_t>(v)];
+      if (queue.empty()) continue;
+      // Send at most one message per distinct neighbour this round.
+      std::vector<std::pair<Vertex, Message>> deferred;
+      std::vector<Vertex> used;
+      while (!queue.empty()) {
+        auto [to, msg] = queue.front();
+        queue.pop_front();
+        --queued;
+        if (std::find(used.begin(), used.end(), to) != used.end()) {
+          deferred.emplace_back(to, msg);
+          ++queued;
+          continue;
+        }
+        used.push_back(to);
+        b.net.send(v, to, msg);
+        any = true;
+      }
+      for (auto& d : deferred) queue.push_back(std::move(d));
+    }
+    b.net.advance_round();
+    for (const Vertex v : b.net.delivered_to()) {
+      for (const Received& r : b.net.inbox(v)) {
+        const Word tag = r.msg.words[0];
+        if (tag == kNotify) {
+          const Vertex origin = static_cast<Vertex>(r.msg.words[1]);
+          const Vertex center = static_cast<Vertex>(r.msg.words[2]);
+          const Dist w = r.msg.words[3];
+          if (origin == v) {
+            b.learn_local(v, center, w);
+          } else {
+            enqueue_down(v, route[static_cast<std::size_t>(v)][origin], r.msg);
+          }
+        } else if (tag == kGroupEdge) {
+          const Vertex center = static_cast<Vertex>(r.msg.words[1]);
+          const Vertex origin = static_cast<Vertex>(r.msg.words[2]);
+          const Dist w = r.msg.words[3];
+          if (v == center) b.learn_local(v, origin, w);
+          if (v == origin) b.learn_local(v, center, w);
+          for (const Vertex c : children[static_cast<std::size_t>(v)]) {
+            enqueue_down(v, c, r.msg);
+          }
+        }
+      }
+    }
+    if (!any && queued == 0) break;  // fully drained
+  }
+  // Drain check: all queues must be empty within the fixed epoch.
+  for (Vertex v = 0; v < n; ++v) {
+    assert(down[static_cast<std::size_t>(v)].empty());
+    (void)v;
+  }
+}
+
+}  // namespace
+
+bool DistributedBuildResult::endpoints_consistent() const {
+  for (const WeightedEdge& e : base.h.edges()) {
+    bool at_u = false;
+    bool at_v = false;
+    for (const auto& [o, w] : local[static_cast<std::size_t>(e.u)]) {
+      if (o == e.v && w == e.w) at_u = true;
+    }
+    for (const auto& [o, w] : local[static_cast<std::size_t>(e.v)]) {
+      if (o == e.u && w == e.w) at_v = true;
+    }
+    if (!at_u || !at_v) return false;
+  }
+  return true;
+}
+
+DistributedBuildResult build_emulator_distributed(
+    const Graph& g, const DistributedParams& params,
+    const DistributedOptions& options) {
+  const Vertex n = g.num_vertices();
+  if (params.n != n) {
+    throw std::invalid_argument("params were computed for a different n");
+  }
+  const PhaseSchedule& sched = params.schedule;
+  const int ell = sched.ell();
+
+  Builder b(g);
+  b.params = &params;
+  b.options = options;
+  b.out.base.h = WeightedGraph(n);
+  b.out.base.u_level.assign(static_cast<std::size_t>(n), -1);
+  b.out.base.u_center.assign(static_cast<std::size_t>(n), -1);
+  b.out.local.assign(static_cast<std::size_t>(n), {});
+  b.cluster_of.assign(static_cast<std::size_t>(n), -1);
+
+  b.current = singleton_partition(n);
+  if (options.keep_audit_data) b.out.base.partitions.push_back(b.current);
+
+  for (int i = 0; i <= ell; ++i) {
+    const double deg_i = sched.deg[static_cast<std::size_t>(i)];
+    const Dist delta_i = sched.delta[static_cast<std::size_t>(i)];
+    const std::int64_t cap =
+        static_cast<std::int64_t>(std::ceil(deg_i - 1e-9)) + 1;
+
+    PhaseStats stats;
+    stats.phase = i;
+    stats.clusters_in = static_cast<std::int64_t>(b.current.size());
+    stats.deg_threshold = deg_i;
+    stats.delta = delta_i;
+
+    std::vector<Vertex> centers;
+    for (std::size_t c = 0; c < b.current.size(); ++c) {
+      centers.push_back(b.current[c].center);
+      b.cluster_of[static_cast<std::size_t>(b.current[c].center)] =
+          static_cast<std::int32_t>(c);
+    }
+    std::sort(centers.begin(), centers.end());
+    b.superclustered.assign(static_cast<std::size_t>(n), false);
+
+    // Task 1: popular-cluster detection.
+    std::int64_t mark = b.net.stats().rounds;
+    const DetectResult det1 = congest::detect_congest(b.net, centers, delta_i, cap);
+    stats.rounds_detect = b.net.stats().rounds - mark;
+
+    std::vector<Vertex> popular;
+    for (const Vertex c : centers) {
+      if (static_cast<double>(det1.heard_others(c)) + 1e-9 >= deg_i) {
+        popular.push_back(c);
+      }
+    }
+    stats.popular = static_cast<std::int64_t>(popular.size());
+
+    std::vector<Cluster> next;
+    if (i < ell && !popular.empty()) {
+      // Task 2: ruling set.
+      mark = b.net.stats().rounds;
+      const RulingSet ruling = congest::compute_ruling_set(
+          b.net, popular, 2 * delta_i, params.ruling_base);
+      stats.rounds_ruling = b.net.stats().rounds - mark;
+
+      // Task 3: BFS forest + backtracking with hub splitting.
+      mark = b.net.stats().rounds;
+      const Dist rul_i = params.rul[static_cast<std::size_t>(i)];
+      const BfsForest forest =
+          congest::build_bfs_forest(b.net, ruling.members, rul_i + delta_i);
+      stats.rounds_forest = b.net.stats().rounds - mark;
+
+      mark = b.net.stats().rounds;
+      backtrack_superclusters(b, forest, i, deg_i, stats, next);
+      stats.rounds_backtrack = b.net.stats().rounds - mark;
+    }
+
+    // Interconnection. U_i = clusters never superclustered.
+    std::vector<Vertex> u_centers;
+    for (const Vertex c : centers) {
+      if (!b.superclustered[static_cast<std::size_t>(c)]) u_centers.push_back(c);
+    }
+    stats.unclustered = static_cast<std::int64_t>(u_centers.size());
+
+    mark = b.net.stats().rounds;
+    if (i < ell) {
+      // Second detection run so the non-U side learns the edges too.
+      const DetectResult det2 =
+          congest::detect_congest(b.net, u_centers, delta_i, cap);
+      for (const Vertex c : u_centers) {
+        const Cluster& cl = b.current[static_cast<std::size_t>(
+            b.cluster_of[static_cast<std::size_t>(c)])];
+        for (const Vertex m : cl.members) {
+          b.out.base.u_level[static_cast<std::size_t>(m)] = i;
+          b.out.base.u_center[static_cast<std::size_t>(m)] = c;
+        }
+        for (const SourceHit& h : det1.hits[static_cast<std::size_t>(c)]) {
+          if (h.source == c) continue;
+          b.log_edge(c, h.source, h.dist, i, EdgeKind::kInterconnect, c);
+          ++stats.interconnect_edges;
+          b.learn_local(c, h.source, h.dist);
+        }
+      }
+      // Reverse knowledge from det2.
+      for (const Vertex c : centers) {
+        for (const SourceHit& h : det2.hits[static_cast<std::size_t>(c)]) {
+          if (h.source == c) continue;
+          b.learn_local(c, h.source, h.dist);
+        }
+      }
+    } else {
+      // Last phase: everyone is in U_ell; det1 already gave symmetric
+      // knowledge (all clusters unpopular).
+      for (const Vertex c : u_centers) {
+        const Cluster& cl = b.current[static_cast<std::size_t>(
+            b.cluster_of[static_cast<std::size_t>(c)])];
+        for (const Vertex m : cl.members) {
+          b.out.base.u_level[static_cast<std::size_t>(m)] = i;
+          b.out.base.u_center[static_cast<std::size_t>(m)] = c;
+        }
+        for (const SourceHit& h : det1.hits[static_cast<std::size_t>(c)]) {
+          if (h.source == c) continue;
+          b.log_edge(c, h.source, h.dist, i, EdgeKind::kInterconnect, c);
+          ++stats.interconnect_edges;
+          b.learn_local(c, h.source, h.dist);
+        }
+      }
+    }
+    stats.rounds_interconnect = b.net.stats().rounds - mark;
+
+    for (const Vertex c : centers) b.cluster_of[static_cast<std::size_t>(c)] = -1;
+    stats.clusters_out = static_cast<std::int64_t>(next.size());
+    stats.rounds = stats.rounds_detect + stats.rounds_ruling +
+                   stats.rounds_forest + stats.rounds_backtrack +
+                   stats.rounds_interconnect;
+    b.out.base.phases.push_back(stats);
+    b.current = std::move(next);
+    if (options.keep_audit_data) b.out.base.partitions.push_back(b.current);
+  }
+
+  assert(b.current.empty());
+  b.out.base.total_rounds = b.net.stats().rounds;
+  b.out.net = b.net.stats();
+  return b.out;
+}
+
+}  // namespace usne

@@ -1,0 +1,57 @@
+#include "core/ruling_central.hpp"
+
+#include <algorithm>
+
+#include "path/bfs.hpp"
+#include "util/math.hpp"
+
+namespace usne {
+
+CentralRulingSet ruling_set_central(const Graph& g, const std::vector<Vertex>& w,
+                                    Dist q, std::int64_t base) {
+  base = std::max<std::int64_t>(base, 2);
+  const Vertex n = g.num_vertices();
+  const int levels = digits_in_base(std::max<Vertex>(n, 2), base);
+
+  CentralRulingSet result;
+  result.separation = q + 2;
+  result.covering = static_cast<Dist>(levels) * (q + 1);
+
+  std::vector<Vertex> candidates = w;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (int level = levels - 1; level >= 0 && candidates.size() > 1; --level) {
+    std::vector<Vertex> selected;
+    std::vector<Vertex> last_batch;
+    std::vector<bool> covered(static_cast<std::size_t>(n), false);
+
+    for (std::int64_t val = base - 1; val >= 0; --val) {
+      // Coverage flood from the batch selected in the previous sweep step.
+      if (!last_batch.empty()) {
+        const MultiSourceBfsResult flood = multi_source_bfs(g, last_batch, q + 1);
+        for (Vertex v = 0; v < n; ++v) {
+          if (flood.dist[static_cast<std::size_t>(v)] != kInfDist) {
+            covered[static_cast<std::size_t>(v)] = true;
+          }
+        }
+      }
+      last_batch.clear();
+      for (const Vertex v : candidates) {
+        if (digit_at(v, base, level) != val) continue;
+        if (!covered[static_cast<std::size_t>(v)]) {
+          selected.push_back(v);
+          last_batch.push_back(v);
+        }
+      }
+    }
+    std::sort(selected.begin(), selected.end());
+    candidates = std::move(selected);
+  }
+
+  result.members = std::move(candidates);
+  return result;
+}
+
+}  // namespace usne

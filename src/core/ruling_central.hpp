@@ -1,0 +1,26 @@
+#pragma once
+
+// Centralized counterpart of the distributed digit-sweep ruling set
+// (congest/ruling_set.hpp) — identical semantics, computed with bounded
+// multi-source BFS floods instead of messages. Used by the fast centralized
+// construction (paper §3.3) and the spanner builder; tests assert it agrees
+// with the CONGEST implementation exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace usne {
+
+struct CentralRulingSet {
+  std::vector<Vertex> members;  // ascending
+  Dist separation = 0;          // q + 2
+  Dist covering = 0;            // levels * (q + 1)
+};
+
+/// Ruling set for `w` with separation parameter q, ID digits in base `base`.
+CentralRulingSet ruling_set_central(const Graph& g, const std::vector<Vertex>& w,
+                                    Dist q, std::int64_t base);
+
+}  // namespace usne

@@ -1,0 +1,45 @@
+#pragma once
+
+// Near-additive spanners — the paper's §4.
+//
+// Same SAI skeleton as the emulator, but every insertion of a weighted
+// emulator edge (u, v, d) is replaced by inserting an actual u-v path of
+// length <= d from G, so H is a *subgraph* of G:
+//   * superclustering: the root-paths of joining centers inside the BFS
+//     forest F_i (<= n-1 forest edges per phase);
+//   * interconnection: the recorded shortest path between the two centers.
+//
+// The §4 construction uses the [EN17a]-style degree sequence (SpannerParams:
+// gamma = max{2, log log kappa}, transition phase n^(rho/2)), which makes
+// the per-phase interconnection path cost decay geometrically and yields
+// O(n^(1+1/kappa)) total edges. Running the *same* skeleton with the §3
+// degree sequence instead reproduces the [EM19] baseline with its
+// O(beta * n^(1+1/kappa)) edges — the comparison of bench E5.
+//
+// Both builders run as centralized simulations of the distributed algorithm
+// (paper §3.3); round schedules are inherited from the §3 construction.
+
+#include "core/cluster.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace usne {
+
+struct SpannerOptions {
+  bool keep_audit_data = true;
+};
+
+/// §4 spanner with the [EN17a] degree sequence. All edges have weight 1 and
+/// exist in G.
+BuildResult build_spanner(const Graph& g, const SpannerParams& params,
+                          const SpannerOptions& options = {});
+
+/// [EM19] baseline: the same path-insertion skeleton driven by the §3
+/// degree sequence. Edge count is Theta(beta) times larger at equal kappa.
+BuildResult build_spanner_em19(const Graph& g, const DistributedParams& params,
+                               const SpannerOptions& options = {});
+
+/// True if every edge of h is an edge of g (the spanner subgraph property).
+bool is_subgraph(const WeightedGraph& h, const Graph& g);
+
+}  // namespace usne

@@ -1,0 +1,317 @@
+#include "core/spanner_distributed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "congest/bfs_forest.hpp"
+#include "congest/detect.hpp"
+#include "congest/ruling_set.hpp"
+
+namespace usne {
+namespace {
+
+using congest::BfsForest;
+using congest::DetectResult;
+using congest::Message;
+using congest::Network;
+using congest::Received;
+using congest::RulingSet;
+using congest::Word;
+
+constexpr Word kJoinMark = 20;  // <kJoinMark>            up the forest
+constexpr Word kPathMark = 21;  // <kPathMark, source>    along pred chains
+
+/// Superclustering mark-up-cast: every spanned center holds a mark; marks
+/// propagate one hop per round toward the roots with per-vertex dedup, so
+/// each tree edge carries at most one kJoinMark ever. Every vertex that
+/// held a mark adds its parent edge. Runs exactly `depth_limit` rounds.
+void markupcast(Network& net, const BfsForest& forest,
+                const std::vector<bool>& is_center, Dist depth_limit,
+                WeightedGraph& h, std::vector<ChargedEdge>* log, int phase,
+                std::int64_t& edge_counter) {
+  const Vertex n = net.num_vertices();
+  std::vector<bool> marked(static_cast<std::size_t>(n), false);
+  std::vector<Vertex> fresh;  // marked this round, send next round
+  for (Vertex v = 0; v < n; ++v) {
+    if (forest.spanned(v) && is_center[static_cast<std::size_t>(v)] &&
+        forest.depth[static_cast<std::size_t>(v)] > 0) {
+      marked[static_cast<std::size_t>(v)] = true;
+      fresh.push_back(v);
+    }
+  }
+  auto add_parent_edge = [&](Vertex v) {
+    const Vertex p = forest.parent[static_cast<std::size_t>(v)];
+    if (p == -1) return;
+    h.add_edge(v, p, 1);
+    ++edge_counter;
+    if (log) {
+      log->push_back({std::min(v, p), std::max(v, p), 1, phase,
+                      EdgeKind::kSupercluster, v});
+    }
+  };
+  for (const Vertex v : fresh) add_parent_edge(v);
+
+  for (Dist round = 0; round < depth_limit; ++round) {
+    for (const Vertex v : fresh) {
+      const Vertex p = forest.parent[static_cast<std::size_t>(v)];
+      if (p != -1) net.send(v, p, Message::of(kJoinMark));
+    }
+    net.advance_round();
+    fresh.clear();
+    for (const Vertex v : net.delivered_to()) {
+      if (marked[static_cast<std::size_t>(v)]) continue;
+      bool got_mark = false;
+      for (const Received& r : net.inbox(v)) {
+        got_mark |= (r.msg.words[0] == kJoinMark);
+      }
+      if (got_mark && forest.spanned(v) &&
+          forest.depth[static_cast<std::size_t>(v)] > 0) {
+        marked[static_cast<std::size_t>(v)] = true;
+        add_parent_edge(v);
+        fresh.push_back(v);
+      }
+    }
+  }
+}
+
+/// Interconnection path-marking: every U_i center sends one kPathMark per
+/// neighbouring center along the Algorithm 2 predecessor chain; relays add
+/// the edge toward their predecessor and forward. Pipelined one message per
+/// edge per round; runs until drained (bounded by delta * cap + slack).
+void path_marks(Network& net, const DetectResult& det,
+                const std::vector<Vertex>& u_centers, Dist delta,
+                std::int64_t cap, WeightedGraph& h,
+                std::vector<ChargedEdge>* log, int phase,
+                std::int64_t& edge_counter) {
+  const Vertex n = net.num_vertices();
+  // Per-vertex queue of (next_hop, source) marks to forward.
+  std::vector<std::deque<std::pair<Vertex, Vertex>>> queue(
+      static_cast<std::size_t>(n));
+  std::int64_t queued = 0;
+  // Marks already forwarded from a vertex: re-forwarding the same source is
+  // redundant (the downstream chain is already marked).
+  std::unordered_set<std::uint64_t> forwarded;
+  const auto key = [](Vertex v, Vertex src) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+           static_cast<std::uint32_t>(src);
+  };
+
+  auto enqueue = [&](Vertex at, Vertex source, Vertex charged) {
+    if (!forwarded.insert(key(at, source)).second) return;  // already done
+    // The hop toward `source` is this vertex's recorded predecessor.
+    const auto& hits = det.hits[static_cast<std::size_t>(at)];
+    const auto it = std::find_if(hits.begin(), hits.end(), [&](const SourceHit& s) {
+      return s.source == source;
+    });
+    if (it == hits.end() || it->pred == -1) return;  // arrived (or untraceable)
+    h.add_edge(at, it->pred, 1);
+    ++edge_counter;
+    if (log) {
+      log->push_back({std::min(at, it->pred), std::max(at, it->pred), 1, phase,
+                      EdgeKind::kSpannerPath, charged});
+    }
+    queue[static_cast<std::size_t>(at)].push_back({it->pred, source});
+    ++queued;
+  };
+
+  for (const Vertex c : u_centers) {
+    for (const SourceHit& hit : det.hits[static_cast<std::size_t>(c)]) {
+      if (hit.source == c) continue;
+      enqueue(c, hit.source, c);
+    }
+  }
+
+  // Drain fully; the hard ceiling only guards against a logic error (every
+  // mark travels <= delta hops and per-vertex dedup bounds total traffic).
+  const std::int64_t hard_ceiling =
+      (delta + 2) * (cap + 2) * 16 + static_cast<std::int64_t>(n) + 1024;
+  for (std::int64_t t = 0; queued > 0; ++t) {
+    if (t > hard_ceiling) {
+      throw std::logic_error("path_marks failed to drain within its ceiling");
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      auto& q = queue[static_cast<std::size_t>(v)];
+      if (q.empty()) continue;
+      std::vector<std::pair<Vertex, Vertex>> deferred;
+      std::vector<Vertex> used;
+      while (!q.empty()) {
+        const auto [to, source] = q.front();
+        q.pop_front();
+        if (std::find(used.begin(), used.end(), to) != used.end()) {
+          deferred.push_back({to, source});
+          continue;
+        }
+        used.push_back(to);
+        --queued;
+        net.send(v, to, Message::of(kPathMark, source));
+      }
+      for (const auto& d : deferred) q.push_back(d);
+    }
+    net.advance_round();
+    for (const Vertex v : net.delivered_to()) {
+      for (const Received& r : net.inbox(v)) {
+        if (r.msg.words[0] != kPathMark) continue;
+        const Vertex source = static_cast<Vertex>(r.msg.words[1]);
+        if (v == source) continue;  // mark arrived
+        enqueue(v, source, source);
+      }
+    }
+  }
+  assert(queued == 0);
+}
+
+DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
+                                    const PhaseSchedule& sched,
+                                    const std::vector<Dist>& rul,
+                                    std::int64_t ruling_base,
+                                    bool keep_audit_data) {
+  const Vertex n = g.num_vertices();
+  if (params_n != n) {
+    throw std::invalid_argument("params were computed for a different n");
+  }
+  const int ell = sched.ell();
+
+  DistributedSpannerResult out;
+  out.base.h = WeightedGraph(n);
+  out.base.u_level.assign(static_cast<std::size_t>(n), -1);
+  out.base.u_center.assign(static_cast<std::size_t>(n), -1);
+
+  Network net(g);
+  std::vector<Cluster> current = singleton_partition(n);
+  if (keep_audit_data) out.base.partitions.push_back(current);
+  std::vector<std::int32_t> cluster_of(static_cast<std::size_t>(n), -1);
+  std::vector<bool> is_center(static_cast<std::size_t>(n), false);
+
+  for (int i = 0; i <= ell; ++i) {
+    const double deg_i = sched.deg[static_cast<std::size_t>(i)];
+    const Dist delta_i = sched.delta[static_cast<std::size_t>(i)];
+    const Dist rul_i = rul[static_cast<std::size_t>(i)];
+    const std::int64_t cap =
+        static_cast<std::int64_t>(std::ceil(deg_i - 1e-9)) + 1;
+
+    PhaseStats stats;
+    stats.phase = i;
+    stats.clusters_in = static_cast<std::int64_t>(current.size());
+    stats.deg_threshold = deg_i;
+    stats.delta = delta_i;
+
+    std::vector<Vertex> centers;
+    for (std::size_t c = 0; c < current.size(); ++c) {
+      centers.push_back(current[c].center);
+      cluster_of[static_cast<std::size_t>(current[c].center)] =
+          static_cast<std::int32_t>(c);
+      is_center[static_cast<std::size_t>(current[c].center)] = true;
+    }
+    std::sort(centers.begin(), centers.end());
+
+    std::int64_t mark = net.stats().rounds;
+    const DetectResult det = congest::detect_congest(net, centers, delta_i, cap);
+    stats.rounds_detect = net.stats().rounds - mark;
+
+    std::vector<Vertex> popular;
+    for (const Vertex c : centers) {
+      if (static_cast<double>(det.heard_others(c)) + 1e-9 >= deg_i) {
+        popular.push_back(c);
+      }
+    }
+    stats.popular = static_cast<std::int64_t>(popular.size());
+
+    std::vector<Cluster> next;
+    std::vector<bool> superclustered(static_cast<std::size_t>(n), false);
+    if (i < ell && !popular.empty()) {
+      mark = net.stats().rounds;
+      const RulingSet ruling =
+          congest::compute_ruling_set(net, popular, 2 * delta_i, ruling_base);
+      stats.rounds_ruling = net.stats().rounds - mark;
+
+      mark = net.stats().rounds;
+      const BfsForest forest =
+          congest::build_bfs_forest(net, ruling.members, rul_i + delta_i);
+      stats.rounds_forest = net.stats().rounds - mark;
+
+      mark = net.stats().rounds;
+      markupcast(net, forest, is_center, rul_i + delta_i, out.base.h,
+                 keep_audit_data ? &out.base.edge_log : nullptr, i,
+                 stats.supercluster_edges);
+      stats.rounds_backtrack = net.stats().rounds - mark;
+
+      // Supercluster membership (audit bookkeeping; one per tree).
+      std::vector<std::int32_t> super_of(static_cast<std::size_t>(n), -1);
+      for (const Vertex r : ruling.members) {
+        super_of[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(next.size());
+        Cluster super;
+        super.center = r;
+        next.push_back(std::move(super));
+      }
+      for (const Vertex c : centers) {
+        const Vertex root = forest.root[static_cast<std::size_t>(c)];
+        if (root == -1) continue;
+        Cluster& super =
+            next[static_cast<std::size_t>(super_of[static_cast<std::size_t>(root)])];
+        const Cluster& joined =
+            current[static_cast<std::size_t>(cluster_of[static_cast<std::size_t>(c)])];
+        super.members.insert(super.members.end(), joined.members.begin(),
+                             joined.members.end());
+        superclustered[static_cast<std::size_t>(c)] = true;
+      }
+    }
+
+    // Interconnection.
+    std::vector<Vertex> u_centers;
+    for (const Vertex c : centers) {
+      if (!superclustered[static_cast<std::size_t>(c)]) u_centers.push_back(c);
+    }
+    stats.unclustered = static_cast<std::int64_t>(u_centers.size());
+    for (const Vertex c : u_centers) {
+      const Cluster& cl = current[static_cast<std::size_t>(
+          cluster_of[static_cast<std::size_t>(c)])];
+      for (const Vertex m : cl.members) {
+        out.base.u_level[static_cast<std::size_t>(m)] = i;
+        out.base.u_center[static_cast<std::size_t>(m)] = c;
+      }
+    }
+    mark = net.stats().rounds;
+    path_marks(net, det, u_centers, delta_i, cap, out.base.h,
+               keep_audit_data ? &out.base.edge_log : nullptr, i,
+               stats.interconnect_edges);
+    stats.rounds_interconnect = net.stats().rounds - mark;
+
+    for (const Vertex c : centers) {
+      cluster_of[static_cast<std::size_t>(c)] = -1;
+      is_center[static_cast<std::size_t>(c)] = false;
+    }
+    stats.clusters_out = static_cast<std::int64_t>(next.size());
+    stats.rounds = stats.rounds_detect + stats.rounds_ruling +
+                   stats.rounds_forest + stats.rounds_backtrack +
+                   stats.rounds_interconnect;
+    out.base.phases.push_back(stats);
+    current = std::move(next);
+    if (keep_audit_data) out.base.partitions.push_back(current);
+  }
+
+  assert(current.empty());
+  out.base.total_rounds = net.stats().rounds;
+  out.net = net.stats();
+  return out;
+}
+
+}  // namespace
+
+DistributedSpannerResult build_spanner_congest(const Graph& g,
+                                               const SpannerParams& params,
+                                               bool keep_audit_data) {
+  return build_impl(g, params.n, params.schedule, params.rul,
+                    params.ruling_base, keep_audit_data);
+}
+
+DistributedSpannerResult build_spanner_congest_em19(
+    const Graph& g, const DistributedParams& params, bool keep_audit_data) {
+  return build_impl(g, params.n, params.schedule, params.rul,
+                    params.ruling_base, keep_audit_data);
+}
+
+}  // namespace usne

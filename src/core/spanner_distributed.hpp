@@ -1,0 +1,46 @@
+#pragma once
+
+// Distributed CONGEST construction of near-additive spanners — the paper's
+// §4, run on the simulator with full round/message metering.
+//
+// The spanner variant is *simpler* than the emulator in CONGEST (paper §4:
+// "the construction of superclusters becomes simpler... there is no need to
+// define hub-vertices"), because path edges are added locally:
+//
+//   * Superclustering: after the BFS forest is built, every spanned center
+//     convergecasts a single 1-word join mark toward its root; every vertex
+//     that holds a mark adds its parent edge to H. No per-origin payload
+//     ever travels, so no hub splitting is needed and each tree edge
+//     carries at most one mark (deduplicated by the relays).
+//   * Interconnection: a cluster in U_i traces a path-mark along the
+//     recorded Algorithm 2 predecessor chain to each neighbouring center;
+//     every relay adds the edge to its predecessor. Marks are pipelined one
+//     per edge per round.
+//
+// Both endpoints of every spanner edge trivially know it (it is their own
+// incident graph edge). Driven by SpannerParams (Corollary 4.4) or by
+// DistributedParams (the [EM19] baseline, for round-for-round comparison).
+
+#include "congest/network.hpp"
+#include "core/cluster.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace usne {
+
+struct DistributedSpannerResult {
+  BuildResult base;
+  congest::NetworkStats net;
+};
+
+/// §4 spanner (EN17a-style degree sequence) in CONGEST.
+DistributedSpannerResult build_spanner_congest(const Graph& g,
+                                               const SpannerParams& params,
+                                               bool keep_audit_data = true);
+
+/// [EM19] baseline (§3 degree sequence) in CONGEST.
+DistributedSpannerResult build_spanner_congest_em19(
+    const Graph& g, const DistributedParams& params,
+    bool keep_audit_data = true);
+
+}  // namespace usne

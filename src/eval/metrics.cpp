@@ -1,0 +1,30 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace usne {
+
+double size_bound_ratio(const WeightedGraph& h, Vertex n, int kappa) {
+  const long double bound =
+      real_pow(n, 1.0L + 1.0L / static_cast<long double>(kappa));
+  if (bound <= 0) return 0;
+  return static_cast<double>(static_cast<long double>(h.num_edges()) / bound);
+}
+
+double ultra_sparse_excess(const WeightedGraph& h, Vertex n) {
+  if (n == 0) return 0;
+  return static_cast<double>(h.num_edges() - n) / static_cast<double>(n);
+}
+
+int ultra_sparse_kappa(Vertex n, double f) {
+  const double log_n = std::log2(static_cast<double>(std::max<Vertex>(n, 2)));
+  return std::max(2, static_cast<int>(std::ceil(f * log_n)));
+}
+
+std::string ratio_str(double r) { return format_double(r, 4); }
+
+}  // namespace usne

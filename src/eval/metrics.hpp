@@ -1,0 +1,27 @@
+#pragma once
+
+// Size metrics shared by the bench binaries: bound ratios and
+// ultra-sparsity excess.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+/// |H| / n^(1+1/kappa): must be <= 1 for Algorithm 1 (paper's headline:
+/// the leading constant is exactly 1).
+double size_bound_ratio(const WeightedGraph& h, Vertex n, int kappa);
+
+/// (|H| - n) / n: the o(1) excess of the ultra-sparse regime (Cor. 2.15).
+double ultra_sparse_excess(const WeightedGraph& h, Vertex n);
+
+/// kappa = ceil(f * log2 n) used for the ultra-sparse experiments.
+int ultra_sparse_kappa(Vertex n, double f);
+
+/// Formats a ratio as "0.9731" / "1.0452" style string.
+std::string ratio_str(double r);
+
+}  // namespace usne

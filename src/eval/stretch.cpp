@@ -1,0 +1,82 @@
+#include "eval/stretch.hpp"
+
+#include <algorithm>
+
+#include "path/bfs.hpp"
+#include "path/dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace usne {
+namespace {
+
+void accumulate(StretchReport& report, Dist dg, Dist dh, double alpha,
+                Dist beta) {
+  if (dg == kInfDist) return;  // disconnected pair: nothing to check
+  ++report.pairs;
+  if (dh < dg) ++report.underruns;
+  const Dist add = (dh == kInfDist) ? kInfDist : dh - dg;
+  const double mult =
+      (dh == kInfDist) ? 1e18 : static_cast<double>(dh) / static_cast<double>(dg);
+  if (add > report.max_additive) {
+    report.max_additive = add;
+    report.worst_pair_dg = dg;
+  }
+  report.max_mult = std::max(report.max_mult, mult);
+  report.mean_mult += mult;
+  report.mean_additive += static_cast<double>(add);
+  const double budget = alpha * static_cast<double>(dg) + static_cast<double>(beta);
+  if (static_cast<double>(dh) > budget + 1e-9) ++report.violations;
+}
+
+void finalize(StretchReport& report) {
+  if (report.pairs > 0) {
+    report.mean_mult /= static_cast<double>(report.pairs);
+    report.mean_additive /= static_cast<double>(report.pairs);
+  }
+}
+
+StretchReport evaluate_from_sources(const Graph& g, const WeightedGraph& h,
+                                    double alpha, Dist beta,
+                                    const std::vector<Vertex>& sources) {
+  StretchReport report;
+  for (const Vertex s : sources) {
+    const std::vector<Dist> dg = bfs_distances(g, s);
+    const std::vector<Dist> dh = dijkstra(h, s);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (v == s) continue;
+      accumulate(report, dg[static_cast<std::size_t>(v)],
+                 dh[static_cast<std::size_t>(v)], alpha, beta);
+    }
+  }
+  finalize(report);
+  return report;
+}
+
+}  // namespace
+
+StretchReport evaluate_stretch_exact(const Graph& g, const WeightedGraph& h,
+                                     double alpha, Dist beta) {
+  std::vector<Vertex> all(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[static_cast<std::size_t>(v)] = v;
+  return evaluate_from_sources(g, h, alpha, beta, all);
+}
+
+StretchReport evaluate_stretch_sampled(const Graph& g, const WeightedGraph& h,
+                                       double alpha, Dist beta, int sources,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> chosen;
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  const int want = std::min<std::int64_t>(sources, n);
+  while (static_cast<int>(chosen.size()) < want) {
+    const Vertex v = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    if (!used[static_cast<std::size_t>(v)]) {
+      used[static_cast<std::size_t>(v)] = true;
+      chosen.push_back(v);
+    }
+  }
+  return evaluate_from_sources(g, h, alpha, beta, chosen);
+}
+
+}  // namespace usne

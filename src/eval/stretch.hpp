@@ -1,0 +1,44 @@
+#pragma once
+
+// Stretch evaluation: how well does d_H approximate d_G?
+//
+// Exact mode runs full APSP on both graphs (n up to a few thousand);
+// sampled mode evaluates a deterministic pseudo-random pair sample for
+// larger graphs. Reported per pair: multiplicative stretch d_H/d_G and
+// additive surplus d_H - d_G; aggregated as max/mean, plus the fraction of
+// pairs violating a given (alpha, beta) budget (must be 0 for a correct
+// construction).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+/// Aggregated stretch statistics over the evaluated pairs.
+struct StretchReport {
+  std::int64_t pairs = 0;           // evaluated (connected, u != v) pairs
+  double max_mult = 0;              // max d_H/d_G
+  double mean_mult = 0;             // mean d_H/d_G
+  Dist max_additive = 0;            // max d_H - d_G
+  double mean_additive = 0;         // mean d_H - d_G
+  std::int64_t violations = 0;      // pairs with d_H > alpha*d_G + beta
+  std::int64_t underruns = 0;       // pairs with d_H < d_G (must be 0)
+  Dist worst_pair_dg = 0;           // d_G of the worst additive pair
+
+  bool ok() const { return violations == 0 && underruns == 0; }
+};
+
+/// Exact evaluation over all pairs (BFS from every vertex + Dijkstra on H
+/// from every vertex). Quadratic; use for n <= ~2000.
+StretchReport evaluate_stretch_exact(const Graph& g, const WeightedGraph& h,
+                                     double alpha, Dist beta);
+
+/// Sampled evaluation: `sources` BFS sources chosen deterministically from
+/// `seed`, all pairs (source, v) evaluated.
+StretchReport evaluate_stretch_sampled(const Graph& g, const WeightedGraph& h,
+                                       double alpha, Dist beta, int sources,
+                                       std::uint64_t seed);
+
+}  // namespace usne

@@ -1,0 +1,59 @@
+#include "graph/connectivity.hpp"
+
+#include <vector>
+
+namespace usne {
+
+std::vector<Vertex> connected_components(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> component(static_cast<std::size_t>(n), -1);
+  std::vector<Vertex> queue;
+  Vertex next_id = 0;
+  for (Vertex start = 0; start < n; ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1) continue;
+    component[static_cast<std::size_t>(start)] = next_id;
+    queue.assign(1, start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const Vertex u : g.neighbors(queue[head])) {
+        if (component[static_cast<std::size_t>(u)] == -1) {
+          component[static_cast<std::size_t>(u)] = next_id;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+Vertex num_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  Vertex max_id = -1;
+  for (const Vertex c : comp) max_id = std::max(max_id, c);
+  return max_id + 1;
+}
+
+std::vector<Edge> spanning_forest(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<Edge> forest;
+  std::vector<Vertex> queue;
+  for (Vertex start = 0; start < n; ++start) {
+    if (visited[static_cast<std::size_t>(start)]) continue;
+    visited[static_cast<std::size_t>(start)] = true;
+    queue.assign(1, start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      for (const Vertex u : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          forest.push_back({std::min(u, v), std::max(u, v)});
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return forest;
+}
+
+}  // namespace usne

@@ -1,0 +1,26 @@
+#pragma once
+
+// Connectivity helpers: component labelling and spanning forests.
+//
+// The paper's [EP01] baseline uses a "ground partition" whose spanning
+// forest contributes up to n-1 extra emulator edges; we need spanning
+// forests to reproduce that baseline faithfully.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace usne {
+
+/// Labels connected components; returns component id per vertex (ids are
+/// dense, assigned in order of the smallest vertex in the component).
+std::vector<Vertex> connected_components(const Graph& g);
+
+/// Number of connected components.
+Vertex num_components(const Graph& g);
+
+/// BFS spanning forest: one tree per component, rooted at its smallest
+/// vertex. Returned as a list of tree edges.
+std::vector<Edge> spanning_forest(const Graph& g);
+
+}  // namespace usne

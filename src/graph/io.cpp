@@ -1,0 +1,98 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace usne {
+namespace {
+
+bool read_header(std::istream& is, std::int64_t& n, std::int64_t& m,
+                 bool& weighted) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> n >> m)) return false;
+    weighted = static_cast<bool>(ls >> tag) && tag == "weighted";
+    return n >= 0 && m >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+void write_weighted_graph(std::ostream& os, const WeightedGraph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << " weighted\n";
+  for (const WeightedEdge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+}
+
+std::optional<Graph> read_graph(std::istream& is) {
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  bool weighted = false;
+  if (!read_header(is, n, m, weighted) || weighted) return std::nullopt;
+  if (n > INT32_MAX) return std::nullopt;
+  GraphBuilder builder(static_cast<Vertex>(n));
+  std::string line;
+  std::int64_t seen = 0;
+  while (seen < m && std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (!(ls >> u >> v)) return std::nullopt;
+    if (u < 0 || v < 0 || u >= n || v >= n) return std::nullopt;
+    builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    ++seen;
+  }
+  if (seen != m) return std::nullopt;
+  return builder.build();
+}
+
+std::optional<WeightedGraph> read_weighted_graph(std::istream& is) {
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  bool weighted = false;
+  if (!read_header(is, n, m, weighted) || !weighted) return std::nullopt;
+  if (n > INT32_MAX) return std::nullopt;
+  WeightedGraph g(static_cast<Vertex>(n));
+  std::string line;
+  std::int64_t seen = 0;
+  while (seen < m && std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    Dist w = 0;
+    if (!(ls >> u >> v >> w)) return std::nullopt;
+    if (u < 0 || v < 0 || u >= n || v >= n || w <= 0) return std::nullopt;
+    g.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v), w);
+    ++seen;
+  }
+  if (seen != m) return std::nullopt;
+  return g;
+}
+
+bool save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_graph(os, g);
+  return static_cast<bool>(os);
+}
+
+std::optional<Graph> load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return read_graph(is);
+}
+
+}  // namespace usne

@@ -1,0 +1,28 @@
+#pragma once
+
+// Edge-list serialization for graphs and emulators.
+//
+// Format: first line "n m" (or "n m weighted"), then one edge per line
+// ("u v" or "u v w"). Lines starting with '#' are comments.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+void write_graph(std::ostream& os, const Graph& g);
+void write_weighted_graph(std::ostream& os, const WeightedGraph& g);
+
+/// Returns nullopt on malformed input (negative ids, bad header, ...).
+std::optional<Graph> read_graph(std::istream& is);
+std::optional<WeightedGraph> read_weighted_graph(std::istream& is);
+
+/// Convenience file wrappers. Return false / nullopt on I/O failure.
+bool save_graph(const std::string& path, const Graph& g);
+std::optional<Graph> load_graph(const std::string& path);
+
+}  // namespace usne

@@ -1,0 +1,57 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace usne {
+
+bool WeightedGraph::add_edge(Vertex u, Vertex v, Dist w) {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_ || u == v || w <= 0) return false;
+  if (u > v) std::swap(u, v);
+  const std::uint64_t k = key(u, v);
+  const auto [it, inserted] = index_.try_emplace(k, edges_.size());
+  if (inserted) {
+    edges_.push_back({u, v, w});
+    adjacency_valid_ = false;
+  } else if (w < edges_[it->second].w) {
+    edges_[it->second].w = w;
+    adjacency_valid_ = false;
+  }
+  return true;
+}
+
+Dist WeightedGraph::edge_weight(Vertex u, Vertex v) const noexcept {
+  if (u > v) std::swap(u, v);
+  const auto it = index_.find(key(u, v));
+  return it == index_.end() ? kInfDist : edges_[it->second].w;
+}
+
+std::span<const WeightedGraph::Arc> WeightedGraph::adjacency(Vertex v) const {
+  ensure_adjacency();
+  return {arcs_.data() + offsets_[static_cast<std::size_t>(v)],
+          arcs_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+}
+
+void WeightedGraph::ensure_adjacency() const {
+  if (adjacency_valid_) return;
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const WeightedEdge& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  arcs_.assign(edges_.size() * 2, {});
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const WeightedEdge& e : edges_) {
+    arcs_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = {e.v, e.w};
+    arcs_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = {e.u, e.w};
+  }
+  adjacency_valid_ = true;
+}
+
+void WeightedGraph::merge(const WeightedGraph& other) {
+  assert(other.n_ <= n_);
+  for (const WeightedEdge& e : other.edges_) add_edge(e.u, e.v, e.w);
+}
+
+}  // namespace usne

@@ -1,0 +1,82 @@
+#pragma once
+
+// Weighted undirected graph used to represent emulators H.
+//
+// An emulator is a weighted graph on the same vertex set as G whose edge
+// weights are (at least) graph distances. Construction algorithms may try to
+// insert the same pair twice (e.g. both endpoints were interconnected in
+// different phases); insertion keeps the minimum weight, which can only make
+// the emulator better and never violates d_H >= d_G.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace usne {
+
+/// Weighted undirected edge (u <= v after normalization).
+struct WeightedEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  Dist w = 0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Mutable weighted graph with min-weight edge deduplication and an
+/// on-demand CSR adjacency for shortest-path queries.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(Vertex n) : n_(n) {}
+
+  Vertex num_vertices() const noexcept { return n_; }
+  std::int64_t num_edges() const noexcept {
+    return static_cast<std::int64_t>(edges_.size());
+  }
+
+  /// Inserts (u, v, w); keeps the smaller weight if the pair exists.
+  /// Self-loops and out-of-range endpoints are rejected (returns false).
+  /// Weights must be positive.
+  bool add_edge(Vertex u, Vertex v, Dist w);
+
+  /// All edges, normalized u <= v, in insertion order of first occurrence.
+  const std::vector<WeightedEdge>& edges() const noexcept { return edges_; }
+
+  /// Weight of edge (u,v) or kInfDist when absent.
+  Dist edge_weight(Vertex u, Vertex v) const noexcept;
+
+  /// Neighbor list entry for adjacency(): target vertex + weight.
+  struct Arc {
+    Vertex to = 0;
+    Dist w = 0;
+  };
+
+  /// Builds (once, lazily) and returns the adjacency of v. Invalidated by
+  /// add_edge; rebuilt on next access.
+  std::span<const Arc> adjacency(Vertex v) const;
+
+  /// Merges all edges of `other` into this graph (min-weight dedup).
+  void merge(const WeightedGraph& other);
+
+ private:
+  static std::uint64_t key(Vertex u, Vertex v) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+  void ensure_adjacency() const;
+
+  Vertex n_ = 0;
+  std::vector<WeightedEdge> edges_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> edges_ pos
+
+  // Lazy CSR adjacency cache.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::int64_t> offsets_;
+  mutable std::vector<Arc> arcs_;
+};
+
+}  // namespace usne

@@ -1,0 +1,104 @@
+#include "hopset/hopset.hpp"
+
+#include <algorithm>
+
+#include "path/bfs.hpp"
+
+namespace usne {
+namespace {
+
+/// One Bellman–Ford relaxation round over G u H. Returns true if any
+/// distance improved.
+bool relax_round(const Graph& g, const WeightedGraph& h,
+                 const std::vector<Dist>& current, std::vector<Dist>& next) {
+  next = current;
+  bool improved = false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const Dist dv = current[static_cast<std::size_t>(v)];
+    if (dv >= kInfDist) continue;
+    for (const Vertex u : g.neighbors(v)) {
+      if (dv + 1 < next[static_cast<std::size_t>(u)]) {
+        next[static_cast<std::size_t>(u)] = dv + 1;
+        improved = true;
+      }
+    }
+    if (h.num_edges() > 0) {
+      for (const auto& arc : h.adjacency(v)) {
+        if (dv + arc.w < next[static_cast<std::size_t>(arc.to)]) {
+          next[static_cast<std::size_t>(arc.to)] = dv + arc.w;
+          improved = true;
+        }
+      }
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+std::vector<Dist> limited_hop_distances(const Graph& g, const WeightedGraph& h,
+                                        Vertex source, int hops) {
+  std::vector<Dist> current(static_cast<std::size_t>(g.num_vertices()), kInfDist);
+  current[static_cast<std::size_t>(source)] = 0;
+  std::vector<Dist> next;
+  for (int i = 0; i < hops; ++i) {
+    if (!relax_round(g, h, current, next)) break;
+    current.swap(next);
+  }
+  return current;
+}
+
+HopboundReport measure_hopbound(const Graph& g, const WeightedGraph& h,
+                                const std::vector<Vertex>& sources, double eps,
+                                Dist beta, int max_hops) {
+  HopboundReport report;
+
+  // Exact distances per source (the budget baseline).
+  std::vector<std::vector<Dist>> exact;
+  exact.reserve(sources.size());
+  for (const Vertex s : sources) exact.push_back(bfs_distances(g, s));
+  for (const auto& d : exact) {
+    for (const Dist x : d) {
+      if (x != kInfDist && x > 0) ++report.pairs;
+    }
+  }
+
+  // Incremental Bellman–Ford per source; after each round, check whether
+  // every pair is within budget.
+  std::vector<std::vector<Dist>> current(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    current[i].assign(static_cast<std::size_t>(g.num_vertices()), kInfDist);
+    current[i][static_cast<std::size_t>(sources[i])] = 0;
+  }
+  std::vector<Dist> scratch;
+
+  for (int hop = 1; hop <= max_hops; ++hop) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (relax_round(g, h, current[i], scratch)) current[i].swap(scratch);
+    }
+    bool all_ok = true;
+    double worst = 1.0;
+    for (std::size_t i = 0; i < sources.size() && all_ok; ++i) {
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const Dist d = exact[i][static_cast<std::size_t>(v)];
+        if (d == kInfDist || d == 0) continue;
+        const Dist got = current[i][static_cast<std::size_t>(v)];
+        const double budget =
+            (1.0 + eps) * static_cast<double>(d) + static_cast<double>(beta);
+        if (static_cast<double>(got) > budget + 1e-9) {
+          all_ok = false;
+          break;
+        }
+        worst = std::max(worst, static_cast<double>(got) / static_cast<double>(d));
+      }
+    }
+    if (all_ok) {
+      report.hopbound = hop;
+      report.worst_ratio = worst;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace usne

@@ -1,0 +1,50 @@
+#pragma once
+
+// Hopsets from near-additive emulators — the connection the paper's
+// introduction highlights ("a strong connection between them and hopsets
+// was discovered in [EN16a, EN17a, HP17]").
+//
+// For a weighted edge set H over the vertices of G, the h-hop-limited
+// distance d^(h)_{G u H}(u, v) is the length of the shortest u-v path using
+// at most h edges of G u H (graph edges have weight 1). H is a
+// (beta, eps)-hopset if d^(beta)_{G u H}(u, v) <= (1+eps) d_G(u, v) for all
+// pairs. Near-additive emulators act as hopsets: a single emulator edge
+// spans up to delta_ell graph hops, so the hop-limited distance converges
+// to (1+eps)d + beta within a small number of hops — the mechanism behind
+// parallel/distributed shortest-path algorithms built on these objects
+// ([Coh94, EN16a, ASZ20]).
+//
+// This module provides hop-limited Bellman–Ford evaluation and a hopbound
+// measurement harness (bench E9, example).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+/// Single-source hop-limited distances on G u H: exactly `hops` rounds of
+/// Bellman–Ford, O(hops * (|E| + |H|)). H may be empty.
+std::vector<Dist> limited_hop_distances(const Graph& g, const WeightedGraph& h,
+                                        Vertex source, int hops);
+
+/// Result of a hopbound measurement.
+struct HopboundReport {
+  /// Smallest h such that every evaluated pair satisfied
+  /// d^(h) <= (1+eps) * d_G + beta; -1 if not reached within max_hops.
+  int hopbound = -1;
+  /// Worst d^(h)/d ratio at the returned hopbound.
+  double worst_ratio = 0.0;
+  std::int64_t pairs = 0;
+};
+
+/// Measures the hopbound of H as a hopset for G over all pairs from
+/// `sources`: the smallest h with d^(h)(s, v) <= (1+eps) d_G(s, v) + beta.
+/// Runs incremental Bellman–Ford per source (at most max_hops rounds).
+HopboundReport measure_hopbound(const Graph& g, const WeightedGraph& h,
+                                const std::vector<Vertex>& sources, double eps,
+                                Dist beta, int max_hops);
+
+}  // namespace usne

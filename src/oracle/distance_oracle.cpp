@@ -1,0 +1,39 @@
+#include "oracle/distance_oracle.hpp"
+
+#include <cmath>
+
+#include "core/emulator_fast.hpp"
+#include "path/dijkstra.hpp"
+
+namespace usne {
+
+ApproxDistanceOracle::ApproxDistanceOracle(const Graph& g, OracleOptions options) {
+  const Vertex n = g.num_vertices();
+  int kappa = options.kappa;
+  if (kappa <= 0) {
+    kappa = std::max(
+        3, static_cast<int>(std::ceil(2.0 * std::log2(std::max<double>(n, 4)))));
+  }
+  params_ = DistributedParams::compute(n, kappa, options.rho, options.eps);
+  FastOptions fast_options;
+  fast_options.keep_audit_data = false;
+  h_ = build_emulator_fast(g, params_, fast_options).h;
+}
+
+const std::vector<Dist>& ApproxDistanceOracle::query_all(Vertex source) const {
+  if (!cached_source_ || *cached_source_ != source) {
+    cached_dist_ = dial_sssp(h_, source);
+    cached_source_ = source;
+  }
+  return cached_dist_;
+}
+
+Dist ApproxDistanceOracle::query(Vertex u, Vertex v) const {
+  // Reuse the cache if either endpoint matches it (distances are symmetric).
+  if (cached_source_ && *cached_source_ == v) {
+    return cached_dist_[static_cast<std::size_t>(u)];
+  }
+  return query_all(u)[static_cast<std::size_t>(v)];
+}
+
+}  // namespace usne

@@ -1,0 +1,67 @@
+#pragma once
+
+// Approximate distance oracle built on an ultra-sparse near-additive
+// emulator — the application the paper's introduction motivates
+// ("numerous applications for computing almost shortest paths").
+//
+// Preprocessing builds one emulator H with ~n + o(n) edges (fast §3.3
+// builder); queries run Dial's bucket-queue SSSP on H, so per-query cost
+// depends on n (and the small emulator weights), not on |E(G)|. Every
+// answer d satisfies
+//
+//   d_G(u,v) <= d <= alpha * d_G(u,v) + beta
+//
+// with (alpha, beta) reported by the oracle. Single-source results are
+// cached, so query streams grouped by source cost one SSSP each.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+/// Tuning knobs for the oracle. Defaults target the ultra-sparse regime.
+struct OracleOptions {
+  /// Sparsity parameter; 0 = automatic (ceil(2 * log2 n), i.e. omega(log n)
+  /// scale so |H| = n + o(n)).
+  int kappa = 0;
+  /// Running-time exponent of the §3.3 builder.
+  double rho = 0.3;
+  /// Internal eps of the schedule (see CentralizedParams::compute).
+  double eps = 0.25;
+};
+
+/// Preprocess-once / query-many approximate distance oracle.
+class ApproxDistanceOracle {
+ public:
+  /// Builds the emulator. Throws std::invalid_argument on bad options.
+  explicit ApproxDistanceOracle(const Graph& g, OracleOptions options = {});
+
+  /// Point-to-point approximate distance (kInfDist if disconnected).
+  Dist query(Vertex u, Vertex v) const;
+
+  /// All approximate distances from `source` (cached).
+  const std::vector<Dist>& query_all(Vertex source) const;
+
+  /// The stretch guarantee of every answer.
+  double alpha() const { return params_.schedule.alpha_bound(); }
+  Dist beta() const { return params_.schedule.beta_bound(); }
+
+  /// The underlying emulator.
+  const WeightedGraph& emulator() const { return h_; }
+  std::int64_t emulator_edges() const { return h_.num_edges(); }
+  int kappa() const { return params_.kappa; }
+
+ private:
+  DistributedParams params_;
+  WeightedGraph h_;
+  // Single-entry SSSP cache: query streams are typically grouped by source.
+  mutable std::optional<Vertex> cached_source_;
+  mutable std::vector<Dist> cached_dist_;
+};
+
+}  // namespace usne

@@ -1,0 +1,32 @@
+#include "path/apsp.hpp"
+
+#include "path/bfs.hpp"
+#include "path/dijkstra.hpp"
+
+namespace usne {
+
+DistanceMatrix apsp_unweighted(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<Dist> data(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                         kInfDist);
+  for (Vertex s = 0; s < n; ++s) {
+    const auto dist = bfs_distances(g, s);
+    std::copy(dist.begin(), dist.end(),
+              data.begin() + static_cast<std::size_t>(s) * static_cast<std::size_t>(n));
+  }
+  return DistanceMatrix(n, std::move(data));
+}
+
+DistanceMatrix apsp_weighted(const WeightedGraph& h) {
+  const Vertex n = h.num_vertices();
+  std::vector<Dist> data(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                         kInfDist);
+  for (Vertex s = 0; s < n; ++s) {
+    const auto dist = dijkstra(h, s);
+    std::copy(dist.begin(), dist.end(),
+              data.begin() + static_cast<std::size_t>(s) * static_cast<std::size_t>(n));
+  }
+  return DistanceMatrix(n, std::move(data));
+}
+
+}  // namespace usne

@@ -1,0 +1,41 @@
+#pragma once
+
+// Exact all-pairs shortest paths for verification on small graphs.
+//
+// Stretch verification in the test suite is exact: we compare d_H (Dijkstra
+// on H) against d_G (BFS from every vertex) for every pair. This module is
+// only intended for n up to a few thousand.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace usne {
+
+/// Dense n x n distance matrix of an unweighted graph (BFS from each
+/// vertex). kInfDist where unreachable.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  DistanceMatrix(Vertex n, std::vector<Dist> data)
+      : n_(n), data_(std::move(data)) {}
+
+  Dist at(Vertex u, Vertex v) const {
+    return data_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(v)];
+  }
+  Vertex size() const { return n_; }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Dist> data_;
+};
+
+/// Exact APSP on an unweighted graph.
+DistanceMatrix apsp_unweighted(const Graph& g);
+
+/// Exact APSP on a weighted graph (Dijkstra from each vertex).
+DistanceMatrix apsp_weighted(const WeightedGraph& h);
+
+}  // namespace usne

@@ -1,0 +1,121 @@
+#include "path/source_detection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+namespace usne {
+
+Dist SourceDetection::distance_to(Vertex v, Vertex source) const {
+  for (const SourceHit& hit : hits_[static_cast<std::size_t>(v)]) {
+    if (hit.source == source) return hit.dist;
+  }
+  return kInfDist;
+}
+
+std::vector<Vertex> SourceDetection::path_to(Vertex v, Vertex source) const {
+  std::vector<Vertex> path;
+  Vertex cur = v;
+  while (cur != -1) {
+    path.push_back(cur);
+    if (cur == source) return path;
+    const auto& hits = hits_[static_cast<std::size_t>(cur)];
+    const auto it = std::find_if(hits.begin(), hits.end(), [&](const SourceHit& h) {
+      return h.source == source;
+    });
+    if (it == hits.end()) return {};  // source not detected along the chain
+    cur = it->pred;
+  }
+  return {};
+}
+
+SourceDetection detect_sources(const Graph& g, std::span<const Vertex> sources,
+                               Dist depth, std::size_t k) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::vector<SourceHit>> hits(static_cast<std::size_t>(n));
+
+  // Layered wavefront (no heap): entries of distance d are finalized in
+  // stride d, within a stride sorted by source id — exactly the global
+  // (dist, source) order of the definition. A vertex whose list is full
+  // neither records nor forwards, which is safe by the prefix property
+  // (see header): if s is among the k-nearest of v via a shortest path
+  // through w, s is among the k-nearest of w. Work: O(|E| * k) arrivals
+  // with O(k) dedup each, no log factor.
+  struct Arrival {
+    Vertex source;
+    Vertex pred;
+  };
+  std::vector<std::vector<Arrival>> arrivals(static_cast<std::size_t>(n));
+  std::vector<Vertex> touched;  // vertices with arrivals this stride
+
+  // pending[v] = sources newly recorded at v in the previous stride.
+  std::vector<std::vector<Vertex>> pending(static_cast<std::size_t>(n));
+  std::vector<Vertex> active;
+
+  std::vector<Vertex> sorted(sources.begin(), sources.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const Vertex s : sorted) {
+    assert(s >= 0 && s < n);
+    if (k == 0) break;
+    hits[static_cast<std::size_t>(s)].push_back({s, 0, -1});
+    pending[static_cast<std::size_t>(s)].push_back(s);
+    active.push_back(s);
+  }
+
+  for (Dist d = 1; d <= depth && !active.empty(); ++d) {
+    touched.clear();
+    for (const Vertex v : active) {
+      for (const Vertex src : pending[static_cast<std::size_t>(v)]) {
+        for (const Vertex u : g.neighbors(v)) {
+          auto& list = hits[static_cast<std::size_t>(u)];
+          if (list.size() >= k) continue;  // full: never records more
+          auto& in = arrivals[static_cast<std::size_t>(u)];
+          if (in.empty()) touched.push_back(u);
+          in.push_back({src, v});
+        }
+      }
+      pending[static_cast<std::size_t>(v)].clear();
+    }
+    active.clear();
+
+    std::sort(touched.begin(), touched.end());
+    for (const Vertex u : touched) {
+      auto& in = arrivals[static_cast<std::size_t>(u)];
+      // Smallest source ids first; ties in pred resolved to the smallest
+      // pred for determinism.
+      std::sort(in.begin(), in.end(), [](const Arrival& a, const Arrival& b) {
+        return a.source != b.source ? a.source < b.source : a.pred < b.pred;
+      });
+      auto& list = hits[static_cast<std::size_t>(u)];
+      Vertex last = -1;
+      for (const Arrival& a : in) {
+        if (list.size() >= k) break;
+        if (a.source == last) continue;  // duplicate within the stride
+        last = a.source;
+        bool known = false;
+        for (const SourceHit& h : list) {
+          if (h.source == a.source) {
+            known = true;
+            break;
+          }
+        }
+        if (known) continue;
+        list.push_back({a.source, d, a.pred});
+        pending[static_cast<std::size_t>(u)].push_back(a.source);
+      }
+      in.clear();
+      if (!pending[static_cast<std::size_t>(u)].empty()) active.push_back(u);
+    }
+  }
+
+  for (auto& list : hits) {
+    std::sort(list.begin(), list.end(), [](const SourceHit& a, const SourceHit& b) {
+      return a.dist != b.dist ? a.dist < b.dist : a.source < b.source;
+    });
+  }
+  return SourceDetection(n, std::move(hits));
+}
+
+}  // namespace usne

@@ -1,0 +1,66 @@
+#pragma once
+
+// Centralized (S, d, k)-source detection (Lenzen–Peleg [LP13] semantics).
+//
+// For every vertex v, computes the k nearest sources within distance d,
+// where "nearest" orders by (distance, source id) lexicographically — the
+// deterministic specialization used throughout this repository.
+//
+// This is (a) the workhorse of the fast centralized construction (paper
+// §3.3), which simulates the distributed algorithm without paying message
+// passing, and (b) the ground truth against which the CONGEST Algorithm 2
+// implementation is tested.
+//
+// Correctness of truncated propagation: if s is among the k best sources of
+// v (by (dist, id)) via a shortest path through u, then s is among the k
+// best sources of u — so finalizing entries in global (dist, id) order and
+// keeping only k per vertex is exact.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace usne {
+
+/// One detected source at a vertex.
+struct SourceHit {
+  Vertex source = -1;
+  Dist dist = kInfDist;
+  Vertex pred = -1;  // predecessor vertex on a shortest path (=-1 at source)
+
+  friend bool operator==(const SourceHit&, const SourceHit&) = default;
+};
+
+/// Per-vertex detection lists.
+class SourceDetection {
+ public:
+  SourceDetection() = default;
+  SourceDetection(Vertex n, std::vector<std::vector<SourceHit>> hits)
+      : n_(n), hits_(std::move(hits)) {}
+
+  Vertex num_vertices() const { return n_; }
+
+  /// The (<= k) nearest sources of v, sorted by (dist, source id).
+  std::span<const SourceHit> at(Vertex v) const {
+    return hits_[static_cast<std::size_t>(v)];
+  }
+
+  /// Distance from v to `source` if detected at v, else kInfDist.
+  Dist distance_to(Vertex v, Vertex source) const;
+
+  /// Reconstructs a shortest path from v back to `source` using predecessor
+  /// pointers (empty if source not detected at v). The returned path is
+  /// [v, ..., source].
+  std::vector<Vertex> path_to(Vertex v, Vertex source) const;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::vector<SourceHit>> hits_;
+};
+
+/// Exact k-nearest-sources-within-d detection.
+SourceDetection detect_sources(const Graph& g, std::span<const Vertex> sources,
+                               Dist depth, std::size_t k);
+
+}  // namespace usne

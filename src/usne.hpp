@@ -1,0 +1,53 @@
+#pragma once
+
+// Umbrella header for the USNE library — ultra-sparse near-additive
+// emulators (Elkin & Matar, PODC 2021) and everything around them.
+//
+// Typical entry points:
+//   * CentralizedParams / DistributedParams / SpannerParams  (core/params.hpp)
+//   * build_emulator_centralized   — Algorithm 1 (§2)
+//   * build_emulator_fast          — fast centralized simulation (§3.3)
+//   * build_emulator_distributed   — CONGEST construction (§3.1)
+//   * build_spanner / build_spanner_congest — near-additive spanners (§4)
+//   * ApproxDistanceOracle         — preprocess/query application
+//   * evaluate_stretch_exact / audit_all — verification utilities
+//
+// Include this for convenience, or the individual headers for faster
+// builds.
+
+#include "baselines/em19_spanner.hpp"
+#include "baselines/en17_emulator.hpp"
+#include "baselines/ep01_emulator.hpp"
+#include "baselines/tz06_emulator.hpp"
+#include "congest/bfs_forest.hpp"
+#include "congest/detect.hpp"
+#include "congest/flood.hpp"
+#include "congest/network.hpp"
+#include "congest/ruling_set.hpp"
+#include "core/audit.hpp"
+#include "core/cluster.hpp"
+#include "core/emulator_centralized.hpp"
+#include "core/emulator_distributed.hpp"
+#include "core/emulator_fast.hpp"
+#include "core/params.hpp"
+#include "core/ruling_central.hpp"
+#include "core/spanner.hpp"
+#include "core/spanner_distributed.hpp"
+#include "eval/metrics.hpp"
+#include "eval/stretch.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/weighted_graph.hpp"
+#include "hopset/hopset.hpp"
+#include "oracle/distance_oracle.hpp"
+#include "path/apsp.hpp"
+#include "path/bfs.hpp"
+#include "path/dijkstra.hpp"
+#include "path/source_detection.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"

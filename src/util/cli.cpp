@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace usne {
+
+Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
+    : spec_(std::move(spec)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      errors_.push_back("unexpected positional argument: " + arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "1";  // boolean switch
+      }
+    }
+    if (spec_.find(name) == spec_.end()) {
+      errors_.push_back("unknown flag: --" + name);
+    } else {
+      values_[name] = value;
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, help] : spec_) {
+    out << "  --" << name << "  " << help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace usne

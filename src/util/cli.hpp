@@ -1,0 +1,40 @@
+#pragma once
+
+// Minimal command-line flag parser used by the example binaries.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches.
+// Unknown flags are reported; examples use this to stay self-documenting.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace usne {
+
+/// Parsed command-line flags with typed, defaulted accessors.
+class Cli {
+ public:
+  /// Parses argv. `spec` maps flag name -> help text; flags not in the spec
+  /// are collected into errors().
+  Cli(int argc, char** argv, std::map<std::string, std::string> spec);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& errors() const { return errors_; }
+  bool help_requested() const { return help_; }
+
+  /// Renders a usage string from the spec.
+  std::string usage(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> errors_;
+  bool help_ = false;
+};
+
+}  // namespace usne

@@ -1,0 +1,90 @@
+#pragma once
+
+// Small numeric helpers shared across the project.
+//
+// The size analysis of the paper works with real-valued degree thresholds
+// deg_i = n^(2^i / kappa). Cluster-neighbour counts are integers compared
+// against these thresholds, so we provide carefully-rounded helpers that keep
+// the comparisons conservative (never claim the bound holds when it does
+// not).
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace usne {
+
+/// Integer power with 64-bit overflow saturation (returns INT64_MAX on
+/// overflow). Exponent must be >= 0.
+constexpr std::int64_t ipow_sat(std::int64_t base, int exp) noexcept {
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && result > INT64_MAX / base) return INT64_MAX;
+    result *= base;
+  }
+  return result;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::int64_t x) noexcept {
+  int bits = 0;
+  std::int64_t v = 1;
+  while (v < x) {
+    v = (v > INT64_MAX / 2) ? INT64_MAX : v * 2;
+    ++bits;
+  }
+  return bits;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::int64_t x) noexcept {
+  int bits = -1;
+  while (x > 0) {
+    x >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// n^e for real exponent e, computed in long double. Used for size-bound
+/// thresholds such as n^(1 + 1/kappa).
+inline long double real_pow(std::int64_t n, long double e) noexcept {
+  return std::pow(static_cast<long double>(n), e);
+}
+
+/// The paper's size bound n^(1+1/kappa), rounded *up* with a tiny relative
+/// slack so that floating-point noise never makes a genuinely-satisfied
+/// bound appear violated. (The algorithm guarantees |H| <= n^(1+1/kappa)
+/// exactly; we allow |H| <= size_bound_edges(n, kappa).)
+inline std::int64_t size_bound_edges(std::int64_t n, int kappa) noexcept {
+  assert(kappa >= 1);
+  const long double bound =
+      real_pow(n, 1.0L + 1.0L / static_cast<long double>(kappa));
+  return static_cast<std::int64_t>(std::floor(bound * (1.0L + 1e-12L) + 1e-9L));
+}
+
+/// Number of base-`base` digits needed to write every value in [0, n).
+constexpr int digits_in_base(std::int64_t n, std::int64_t base) noexcept {
+  int d = 1;
+  std::int64_t v = base;
+  while (v < n) {
+    if (v > INT64_MAX / base) break;
+    v *= base;
+    ++d;
+  }
+  return d;
+}
+
+/// Extract digit `pos` (0 = least significant) of `value` in base `base`.
+constexpr std::int64_t digit_at(std::int64_t value, std::int64_t base,
+                                int pos) noexcept {
+  for (int i = 0; i < pos; ++i) value /= base;
+  return value % base;
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace usne

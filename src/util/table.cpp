@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace usne {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int digits) {
+  return add(format_double(value, digits));
+}
+
+std::string Table::markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      if (cells[c].find(',') != std::string::npos) {
+        out << '"' << cells[c] << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "\n### " << title << "\n\n";
+  os << markdown() << '\n';
+}
+
+std::string format_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_count(std::int64_t value) {
+  const std::string raw = std::to_string(value);
+  std::string out;
+  const std::size_t offset = raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i > 0 && (i + 3 - offset) % 3 == 0 && raw[i - 1] != '-') out += ',';
+    out += raw[i];
+  }
+  return out;
+}
+
+}  // namespace usne

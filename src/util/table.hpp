@@ -1,0 +1,52 @@
+#pragma once
+
+// Markdown / CSV table builder used by the bench binaries to print
+// paper-style result tables.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace usne {
+
+/// Accumulates rows of string cells and renders them as an aligned markdown
+/// table (default) or CSV. Numeric convenience overloads format with a fixed
+/// number of significant digits.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add() calls append cells to it.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+  /// Formats with `digits` digits after the decimal point.
+  Table& add(double value, int digits = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders as an aligned GitHub-flavoured markdown table.
+  std::string markdown() const;
+  /// Renders as CSV (no escaping beyond quoting cells with commas).
+  std::string csv() const;
+
+  /// Prints the markdown rendering, preceded by `title` as a heading.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal digits.
+std::string format_double(double value, int digits);
+
+/// Human-friendly large integer: 12,345,678.
+std::string format_count(std::int64_t value);
+
+}  // namespace usne

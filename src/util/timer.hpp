@@ -1,0 +1,29 @@
+#pragma once
+
+// Wall-clock timing helper used by benches and examples.
+
+#include <chrono>
+
+namespace usne {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last reset.
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace usne

@@ -1,0 +1,111 @@
+// Unit tests for the CONGEST network simulator: delivery semantics, round
+// accounting, and — failure injection — enforcement of the model's caps.
+
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace usne::congest {
+namespace {
+
+TEST(Network, DeliversNextRound) {
+  const Graph g = gen_path(3);
+  Network net(g);
+  net.send(0, 1, Message::of(42));
+  EXPECT_TRUE(net.inbox(1).empty());  // not delivered yet
+  net.advance_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0);
+  EXPECT_EQ(net.inbox(1)[0].msg.words[0], 42);
+  net.advance_round();
+  EXPECT_TRUE(net.inbox(1).empty());  // cleared after one round
+}
+
+TEST(Network, InboxSortedBySender) {
+  const Graph g = gen_star(5);  // center 0
+  Network net(g);
+  net.send(4, 0, Message::of(4));
+  net.send(2, 0, Message::of(2));
+  net.send(1, 0, Message::of(1));
+  net.advance_round();
+  ASSERT_EQ(net.inbox(0).size(), 3u);
+  EXPECT_EQ(net.inbox(0)[0].from, 1);
+  EXPECT_EQ(net.inbox(0)[1].from, 2);
+  EXPECT_EQ(net.inbox(0)[2].from, 4);
+}
+
+TEST(Network, DeliveredToListsReceivers) {
+  const Graph g = gen_path(4);
+  Network net(g);
+  net.send(1, 0, Message::of(7));
+  net.send(1, 2, Message::of(7));
+  net.advance_round();
+  const auto& delivered = net.delivered_to();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], 0);
+  EXPECT_EQ(delivered[1], 2);
+}
+
+TEST(Network, StatsAccumulate) {
+  const Graph g = gen_cycle(4);
+  Network net(g);
+  net.broadcast(0, Message::of(1, 2));
+  net.advance_round();
+  net.advance_rounds(3);
+  EXPECT_EQ(net.stats().rounds, 4);
+  EXPECT_EQ(net.stats().messages, 2);  // two neighbours
+  EXPECT_EQ(net.stats().words, 4);
+}
+
+// --- failure injection: the model is enforced, not assumed ---
+
+TEST(NetworkViolation, SecondMessageSameEdgeSameRound) {
+  const Graph g = gen_path(3);
+  Network net(g);
+  net.send(0, 1, Message::of(1));
+  EXPECT_THROW(net.send(0, 1, Message::of(2)), CongestViolation);
+  // Opposite direction is a different directed edge: allowed.
+  EXPECT_NO_THROW(net.send(1, 0, Message::of(3)));
+  // Next round the edge is free again.
+  net.advance_round();
+  EXPECT_NO_THROW(net.send(0, 1, Message::of(4)));
+}
+
+TEST(NetworkViolation, NonEdgeSend) {
+  const Graph g = gen_path(4);  // no edge (0, 2)
+  Network net(g);
+  EXPECT_THROW(net.send(0, 2, Message::of(1)), CongestViolation);
+  EXPECT_THROW(net.send(0, 0, Message::of(1)), CongestViolation);
+}
+
+TEST(NetworkViolation, OversizedMessage) {
+  const Graph g = gen_path(2);
+  Network net(g);
+  Message m;
+  m.size = kMaxWords + 1;
+  EXPECT_THROW(net.send(0, 1, m), CongestViolation);
+  Message empty;
+  empty.size = 0;
+  EXPECT_THROW(net.send(0, 1, empty), CongestViolation);
+}
+
+TEST(Network, EmptyRoundsAreCheap) {
+  const Graph g = gen_gnm(100, 200, 1);
+  Network net(g);
+  net.advance_rounds(100000);
+  EXPECT_EQ(net.stats().rounds, 100000);
+  EXPECT_EQ(net.stats().messages, 0);
+}
+
+TEST(Network, MaxWordsMessageAllowed) {
+  const Graph g = gen_path(2);
+  Network net(g);
+  EXPECT_NO_THROW(net.send(0, 1, Message::of(1, 2, 3, 4)));
+  net.advance_round();
+  EXPECT_EQ(net.inbox(1)[0].msg.size, 4);
+}
+
+}  // namespace
+}  // namespace usne::congest

@@ -1,0 +1,102 @@
+// Self-tests for the evaluation library: the stretch checker against
+// hand-computable cases, and the size metrics.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/stretch.hpp"
+#include "graph/generators.hpp"
+
+namespace usne {
+namespace {
+
+TEST(StretchEval, IdentityEmulatorHasZeroSurplus) {
+  const Graph g = gen_connected_gnm(100, 300, 1);
+  WeightedGraph h(100);
+  for (const Edge& e : g.edges()) h.add_edge(e.u, e.v, 1);
+  const auto report = evaluate_stretch_exact(g, h, 1.0, 0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.max_additive, 0);
+  EXPECT_DOUBLE_EQ(report.max_mult, 1.0);
+  EXPECT_EQ(report.pairs, 100 * 99);
+}
+
+TEST(StretchEval, DetectsAdditiveSurplus) {
+  // Path 0-1-2; emulator: (0,1,1), (1,2,1), but (0,2) via weight-3 edge
+  // only... build H missing nothing but with a detour: H = {(0,1,1),(1,2,2)}.
+  const Graph g = gen_path(3);
+  WeightedGraph h(3);
+  h.add_edge(0, 1, 1);
+  h.add_edge(1, 2, 2);  // surplus 1 on pair (1,2) and (0,2)
+  const auto report = evaluate_stretch_exact(g, h, 1.0, 0);
+  EXPECT_EQ(report.violations, 4);  // (1,2),(2,1),(0,2),(2,0)
+  EXPECT_EQ(report.max_additive, 1);
+  const auto lenient = evaluate_stretch_exact(g, h, 1.0, 1);
+  EXPECT_EQ(lenient.violations, 0);
+}
+
+TEST(StretchEval, DetectsUnderruns) {
+  // An emulator that cheats (shorter than G) must be flagged.
+  const Graph g = gen_path(4);
+  WeightedGraph h(4);
+  h.add_edge(0, 3, 1);  // true distance is 3
+  const auto report = evaluate_stretch_exact(g, h, 1e18, kInfDist / 2);
+  EXPECT_GT(report.underruns, 0);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(StretchEval, SkipsDisconnectedPairs) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  WeightedGraph h(4);
+  h.add_edge(0, 1, 1);
+  h.add_edge(2, 3, 1);
+  const auto report = evaluate_stretch_exact(g, h, 1.0, 0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.pairs, 4);  // only within-component ordered pairs
+}
+
+TEST(StretchEval, SampledSubsetOfExact) {
+  const Graph g = gen_connected_gnm(200, 600, 2);
+  WeightedGraph h(200);
+  for (const Edge& e : g.edges()) h.add_edge(e.u, e.v, 1);
+  const auto sampled = evaluate_stretch_sampled(g, h, 1.0, 0, 10, 7);
+  EXPECT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled.pairs, 10 * 199);
+}
+
+TEST(StretchEval, SampledDeterministic) {
+  const Graph g = gen_connected_gnm(150, 450, 3);
+  WeightedGraph h(150);
+  for (const Edge& e : g.edges()) h.add_edge(e.u, e.v, 1);
+  const auto a = evaluate_stretch_sampled(g, h, 1.0, 0, 8, 11);
+  const auto b = evaluate_stretch_sampled(g, h, 1.0, 0, 8, 11);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.max_additive, b.max_additive);
+}
+
+TEST(Metrics, SizeBoundRatio) {
+  WeightedGraph h(100);
+  for (Vertex v = 0; v + 1 < 100; ++v) h.add_edge(v, v + 1, 1);
+  // 99 edges vs 100^1.5 = 1000: ratio ~ 0.099.
+  EXPECT_NEAR(size_bound_ratio(h, 100, 2), 0.099, 1e-3);
+}
+
+TEST(Metrics, UltraSparseExcess) {
+  WeightedGraph h(100);
+  for (Vertex v = 0; v + 1 < 100; ++v) h.add_edge(v, v + 1, 1);
+  h.add_edge(0, 99, 5);
+  // 100 edges on 100 vertices: excess 0.
+  EXPECT_DOUBLE_EQ(ultra_sparse_excess(h, 100), 0.0);
+}
+
+TEST(Metrics, UltraSparseKappa) {
+  EXPECT_EQ(ultra_sparse_kappa(1024, 1.0), 10);
+  EXPECT_EQ(ultra_sparse_kappa(1024, 2.0), 20);
+  EXPECT_GE(ultra_sparse_kappa(2, 1.0), 2);
+}
+
+}  // namespace
+}  // namespace usne

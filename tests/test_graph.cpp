@@ -1,0 +1,188 @@
+// Unit tests for src/graph: CSR graph, builder normalization, weighted
+// graph dedup semantics, I/O round trips, connectivity.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/weighted_graph.hpp"
+#include "test_helpers.hpp"
+
+namespace usne {
+namespace {
+
+TEST(GraphBuilder, DedupAndSelfLoops) {
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.add_edge(0, 1));
+  EXPECT_TRUE(b.add_edge(1, 0));   // duplicate, reversed
+  EXPECT_TRUE(b.add_edge(0, 1));   // duplicate
+  EXPECT_FALSE(b.add_edge(2, 2));  // self loop rejected
+  EXPECT_FALSE(b.add_edge(0, 9));  // out of range
+  EXPECT_FALSE(b.add_edge(-1, 0));
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, NeighborsSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(2, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) EXPECT_LT(nbrs[i], nbrs[i + 1]);
+  EXPECT_EQ(g.degree(2), 4);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, SingleVertex) {
+  const Graph g = GraphBuilder(1).build();
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(WeightedGraph, MinWeightDedup) {
+  WeightedGraph h(4);
+  EXPECT_TRUE(h.add_edge(0, 1, 5));
+  EXPECT_TRUE(h.add_edge(1, 0, 3));  // lower weight wins
+  EXPECT_TRUE(h.add_edge(0, 1, 9));  // higher weight ignored
+  EXPECT_EQ(h.num_edges(), 1);
+  EXPECT_EQ(h.edge_weight(0, 1), 3);
+  EXPECT_EQ(h.edge_weight(1, 0), 3);
+  EXPECT_EQ(h.edge_weight(0, 2), kInfDist);
+}
+
+TEST(WeightedGraph, RejectsInvalid) {
+  WeightedGraph h(3);
+  EXPECT_FALSE(h.add_edge(0, 0, 1));   // self loop
+  EXPECT_FALSE(h.add_edge(0, 1, 0));   // non-positive weight
+  EXPECT_FALSE(h.add_edge(0, 1, -2));
+  EXPECT_FALSE(h.add_edge(0, 5, 1));   // out of range
+  EXPECT_EQ(h.num_edges(), 0);
+}
+
+TEST(WeightedGraph, AdjacencyReflectsUpdates) {
+  WeightedGraph h(3);
+  h.add_edge(0, 1, 7);
+  EXPECT_EQ(h.adjacency(0).size(), 1u);
+  EXPECT_EQ(h.adjacency(0)[0].to, 1);
+  EXPECT_EQ(h.adjacency(0)[0].w, 7);
+  h.add_edge(0, 2, 2);
+  EXPECT_EQ(h.adjacency(0).size(), 2u);  // cache invalidated and rebuilt
+  h.add_edge(1, 0, 4);                   // weight update
+  bool found = false;
+  for (const auto& arc : h.adjacency(1)) {
+    if (arc.to == 0) {
+      EXPECT_EQ(arc.w, 4);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WeightedGraph, Merge) {
+  WeightedGraph a(4);
+  a.add_edge(0, 1, 5);
+  WeightedGraph b(4);
+  b.add_edge(0, 1, 2);
+  b.add_edge(2, 3, 7);
+  a.merge(b);
+  EXPECT_EQ(a.num_edges(), 2);
+  EXPECT_EQ(a.edge_weight(0, 1), 2);
+  EXPECT_EQ(a.edge_weight(2, 3), 7);
+}
+
+TEST(GraphIo, RoundTripUnweighted) {
+  const Graph g = test::two_triangles_bridge();
+  std::stringstream ss;
+  write_graph(ss, g);
+  const auto back = read_graph(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_EQ(back->edges(), g.edges());
+}
+
+TEST(GraphIo, RoundTripWeighted) {
+  WeightedGraph h(5);
+  h.add_edge(0, 4, 3);
+  h.add_edge(1, 2, 8);
+  std::stringstream ss;
+  write_weighted_graph(ss, h);
+  const auto back = read_weighted_graph(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_edges(), 2);
+  EXPECT_EQ(back->edge_weight(0, 4), 3);
+  EXPECT_EQ(back->edge_weight(1, 2), 8);
+}
+
+TEST(GraphIo, RejectsMalformed) {
+  {
+    std::stringstream ss("not a header\n");
+    EXPECT_FALSE(read_graph(ss).has_value());
+  }
+  {
+    std::stringstream ss("3 2\n0 1\n");  // promised 2 edges, delivered 1
+    EXPECT_FALSE(read_graph(ss).has_value());
+  }
+  {
+    std::stringstream ss("3 1\n0 7\n");  // out of range endpoint
+    EXPECT_FALSE(read_graph(ss).has_value());
+  }
+  {
+    std::stringstream ss("3 1 weighted\n0 1 -5\n");  // bad weight
+    EXPECT_FALSE(read_weighted_graph(ss).has_value());
+  }
+  {
+    std::stringstream ss("3 1\n0 1\n");  // unweighted into weighted reader
+    EXPECT_FALSE(read_weighted_graph(ss).has_value());
+  }
+}
+
+TEST(GraphIo, CommentsSkipped) {
+  std::stringstream ss("# comment\n3 1\n# another\n0 1\n");
+  const auto g = read_graph(ss);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1);
+}
+
+TEST(Connectivity, Components) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const Graph g = b.build();  // components {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(num_components(g), 3);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[5]);
+}
+
+TEST(Connectivity, SpanningForestSize) {
+  const Graph g = test::two_triangles_bridge();
+  EXPECT_EQ(spanning_forest(g).size(), 5u);  // n-1 for connected
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_EQ(spanning_forest(b.build()).size(), 2u);  // n - #components
+}
+
+}  // namespace
+}  // namespace usne

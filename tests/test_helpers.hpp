@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the test suite.
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "path/bfs.hpp"
+
+namespace usne::test {
+
+/// Small standard graphs used across suites.
+inline Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return b.build();
+}
+
+inline Graph two_triangles_bridge() {
+  // 0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+/// Exact distance via BFS (reference).
+inline Dist exact_dist(const Graph& g, Vertex u, Vertex v) {
+  return bfs_distances(g, u)[static_cast<std::size_t>(v)];
+}
+
+/// The graph families used by the property sweeps (connected, varied).
+inline const std::vector<std::string>& sweep_families() {
+  static const std::vector<std::string> families = {
+      "er", "ba", "torus", "star", "tree", "caveman", "ws"};
+  return families;
+}
+
+}  // namespace usne::test

@@ -1,0 +1,82 @@
+// Tests for the approximate distance oracle (src/oracle/).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "oracle/distance_oracle.hpp"
+#include "path/bfs.hpp"
+
+namespace usne {
+namespace {
+
+TEST(Oracle, AnswersWithinBudget) {
+  const Vertex n = 400;
+  const Graph g = gen_connected_gnm(n, 1600, 17);
+  const ApproxDistanceOracle oracle(g);
+  for (Vertex s = 0; s < n; s += 57) {
+    const auto exact = bfs_distances(g, s);
+    for (Vertex v = 0; v < n; v += 11) {
+      const Dist d = oracle.query(s, v);
+      EXPECT_GE(d, exact[static_cast<std::size_t>(v)]);
+      EXPECT_LE(static_cast<double>(d),
+                oracle.alpha() * static_cast<double>(exact[static_cast<std::size_t>(v)]) +
+                    static_cast<double>(oracle.beta()));
+    }
+  }
+}
+
+TEST(Oracle, UltraSparseByDefault) {
+  const Vertex n = 2048;
+  const Graph g = gen_connected_gnm(n, 8 * static_cast<std::int64_t>(n), 5);
+  const ApproxDistanceOracle oracle(g);
+  // Default kappa ~ 2 log n: |H| = n + o(n), far below |E|.
+  EXPECT_LT(oracle.emulator_edges(), static_cast<std::int64_t>(1.25 * n));
+  EXPECT_LT(oracle.emulator_edges(), g.num_edges() / 4);
+  EXPECT_GE(oracle.kappa(), 20);
+}
+
+TEST(Oracle, QueryAllMatchesQuery) {
+  const Graph g = gen_family("torus", 144, 3);
+  const ApproxDistanceOracle oracle(g);
+  const auto& all = oracle.query_all(7);
+  for (Vertex v = 0; v < g.num_vertices(); v += 13) {
+    EXPECT_EQ(oracle.query(7, v), all[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Oracle, CacheReusedForSymmetricQueries) {
+  const Graph g = gen_family("er", 200, 8);
+  const ApproxDistanceOracle oracle(g);
+  // Prime cache from source 5, then ask (u, 5): must use the cached run and
+  // agree with the direct answer.
+  const Dist direct = oracle.query(5, 60);
+  const Dist via_cache = oracle.query(60, 5);
+  EXPECT_EQ(direct, via_cache);
+}
+
+TEST(Oracle, SelfDistanceZero) {
+  const Graph g = gen_path(20);
+  const ApproxDistanceOracle oracle(g);
+  EXPECT_EQ(oracle.query(4, 4), 0);
+}
+
+TEST(Oracle, DisconnectedPairsAreInfinite) {
+  GraphBuilder b(10);
+  for (Vertex v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 5; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  const ApproxDistanceOracle oracle(b.build());
+  EXPECT_EQ(oracle.query(0, 9), kInfDist);
+  EXPECT_LT(oracle.query(0, 4), kInfDist);
+}
+
+TEST(Oracle, CustomKappaHonoured) {
+  const Graph g = gen_family("er", 300, 4);
+  OracleOptions options;
+  options.kappa = 4;
+  options.rho = 0.45;
+  const ApproxDistanceOracle oracle(g, options);
+  EXPECT_EQ(oracle.kappa(), 4);
+}
+
+}  // namespace
+}  // namespace usne

@@ -1,0 +1,216 @@
+// Tests for the parameter engine: recurrence values, monotonicity, the
+// paper's closed-form bounds, degree-sequence telescoping, input
+// validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/params.hpp"
+#include "util/math.hpp"
+
+namespace usne {
+namespace {
+
+TEST(CentralizedParams, EllMatchesPaperFormula) {
+  // ell = ceil(log2((kappa+1)/2)).
+  EXPECT_EQ(CentralizedParams::compute(100, 1, 0.25).schedule.ell(), 0);
+  EXPECT_EQ(CentralizedParams::compute(100, 2, 0.25).schedule.ell(), 1);
+  EXPECT_EQ(CentralizedParams::compute(100, 3, 0.25).schedule.ell(), 1);
+  EXPECT_EQ(CentralizedParams::compute(100, 4, 0.25).schedule.ell(), 2);
+  EXPECT_EQ(CentralizedParams::compute(100, 7, 0.25).schedule.ell(), 2);
+  EXPECT_EQ(CentralizedParams::compute(100, 8, 0.25).schedule.ell(), 3);
+  EXPECT_EQ(CentralizedParams::compute(100, 15, 0.25).schedule.ell(), 3);
+  EXPECT_EQ(CentralizedParams::compute(100, 16, 0.25).schedule.ell(), 4);
+}
+
+TEST(CentralizedParams, DegreeTelescoping) {
+  // deg_i = deg_{i-1}^2 in the Ep01 sequence: the telescoping identity that
+  // drives Lemma 2.4.
+  const auto p = CentralizedParams::compute(10000, 16, 0.25);
+  for (int i = 1; i <= p.schedule.ell(); ++i) {
+    const double prev = p.schedule.deg[static_cast<std::size_t>(i) - 1];
+    EXPECT_NEAR(p.schedule.deg[static_cast<std::size_t>(i)], prev * prev,
+                prev * prev * 1e-9);
+  }
+  EXPECT_NEAR(p.schedule.deg[0], std::pow(10000.0, 1.0 / 16), 1e-9);
+}
+
+TEST(CentralizedParams, LastPhaseHasNoPopularClusters) {
+  // |P_ell| <= n^(1 - (2^ell - 1)/kappa) <= deg_ell (paper eq. 1), i.e.
+  // kappa <= 2^(ell+1) - 1.
+  for (int kappa = 1; kappa <= 40; ++kappa) {
+    const auto p = CentralizedParams::compute(1000, kappa, 0.25);
+    EXPECT_LE(kappa, ipow_sat(2, p.schedule.ell() + 1) - 1) << kappa;
+  }
+}
+
+TEST(CentralizedParams, RadiusRecurrence) {
+  const auto p = CentralizedParams::compute(100, 8, 0.5);
+  const auto& s = p.schedule;
+  EXPECT_EQ(s.radius[0], 0);
+  for (int i = 0; i <= s.ell(); ++i) {
+    // delta_i = L_i + 2 R_i ; R_{i+1} = 2 delta_i + R_i.
+    EXPECT_EQ(s.delta[static_cast<std::size_t>(i)],
+              s.seg[static_cast<std::size_t>(i)] +
+                  2 * s.radius[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(s.radius[static_cast<std::size_t>(i) + 1],
+              2 * s.delta[static_cast<std::size_t>(i)] +
+                  s.radius[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CentralizedParams, SegmentLengths) {
+  const auto p = CentralizedParams::compute(100, 8, 0.25);
+  EXPECT_EQ(p.schedule.seg[0], 1);   // (1/eps)^0
+  EXPECT_EQ(p.schedule.seg[1], 4);   // 1/0.25
+  EXPECT_EQ(p.schedule.seg[2], 16);
+}
+
+TEST(CentralizedParams, BetaRecurrence) {
+  const auto p = CentralizedParams::compute(100, 8, 0.25);
+  const auto& s = p.schedule;
+  EXPECT_EQ(s.beta[0], 0);
+  for (int i = 1; i <= s.ell(); ++i) {
+    EXPECT_EQ(s.beta[static_cast<std::size_t>(i)],
+              2 * s.beta[static_cast<std::size_t>(i) - 1] +
+                  6 * s.radius[static_cast<std::size_t>(i)]);
+  }
+  // Alpha grows from 1.
+  EXPECT_DOUBLE_EQ(s.alpha[0], 1.0);
+  for (int i = 1; i <= s.ell(); ++i) {
+    EXPECT_GT(s.alpha[static_cast<std::size_t>(i)],
+              s.alpha[static_cast<std::size_t>(i) - 1]);
+  }
+}
+
+TEST(CentralizedParams, ClosedFormRadiusBoundForSmallEps) {
+  // Paper eq. (5): for eps <= 1/10, R_i <= 4 (1/eps)^(i-1).
+  const auto p = CentralizedParams::compute(1000, 16, 0.1);
+  for (int i = 1; i <= p.schedule.ell(); ++i) {
+    const double bound = 4.0 * std::pow(10.0, i - 1);
+    // Our integer-rounded recurrence tracks the paper's within rounding.
+    EXPECT_LE(static_cast<double>(p.schedule.radius[static_cast<std::size_t>(i)]),
+              bound * 1.5)
+        << i;
+  }
+}
+
+TEST(CentralizedParams, InputValidation) {
+  EXPECT_THROW(CentralizedParams::compute(-1, 2, 0.25), std::invalid_argument);
+  EXPECT_THROW(CentralizedParams::compute(10, 0, 0.25), std::invalid_argument);
+  EXPECT_THROW(CentralizedParams::compute(10, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(CentralizedParams::compute(10, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(CentralizedParams::compute(10, 2, -0.5), std::invalid_argument);
+  EXPECT_NO_THROW(CentralizedParams::compute(0, 2, 0.5));
+}
+
+TEST(CentralizedParams, DescribeMentionsKeyValues) {
+  const auto p = CentralizedParams::compute(100, 4, 0.25);
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("kappa=4"), std::string::npos);
+  EXPECT_NE(d.find("ell=2"), std::string::npos);
+}
+
+TEST(DistributedParams, StageStructure) {
+  const auto p = DistributedParams::compute(1024, 8, 0.4, 0.25);
+  // i0 = floor(log2(8*0.4)) = floor(log2 3.2) = 1.
+  EXPECT_EQ(p.i0, 1);
+  // ell = i0 + ceil(9/3.2) - 1 = 1 + 3 - 1 = 3.
+  EXPECT_EQ(p.schedule.ell(), 3);
+  // Exponential stage: deg_0 = n^(1/8), deg_1 = n^(2/8).
+  EXPECT_NEAR(p.schedule.deg[0], std::pow(1024.0, 0.125), 1e-9);
+  EXPECT_NEAR(p.schedule.deg[1], std::pow(1024.0, 0.25), 1e-9);
+  // Fixed stage: n^rho.
+  EXPECT_NEAR(p.schedule.deg[2], std::pow(1024.0, 0.4), 1e-9);
+  EXPECT_NEAR(p.schedule.deg[3], std::pow(1024.0, 0.4), 1e-9);
+}
+
+TEST(DistributedParams, DegSquaredDominates) {
+  // deg_{i+1} <= deg_i^2 for all i — the telescoping inequality of eq. 18.
+  for (const auto& [kappa, rho] : std::vector<std::pair<int, double>>{
+           {4, 0.3}, {8, 0.4}, {16, 0.3}, {32, 0.2}, {64, 0.45}}) {
+    const auto p = DistributedParams::compute(4096, kappa, rho, 0.25);
+    for (int i = 0; i + 1 <= p.schedule.ell(); ++i) {
+      const double d = p.schedule.deg[static_cast<std::size_t>(i)];
+      EXPECT_LE(p.schedule.deg[static_cast<std::size_t>(i) + 1], d * d * (1 + 1e-9))
+          << "kappa=" << kappa << " rho=" << rho << " i=" << i;
+    }
+  }
+}
+
+TEST(DistributedParams, RulingGeometry) {
+  const auto p = DistributedParams::compute(1024, 8, 0.4, 0.25);
+  // b = ceil(1024^0.4) = ceil(16.0) = 16; c = ceil(log_16 1024) = 3.
+  EXPECT_EQ(p.ruling_base, 16);
+  EXPECT_EQ(p.ruling_levels, 3);
+  for (int i = 0; i <= p.schedule.ell(); ++i) {
+    EXPECT_EQ(p.rul[static_cast<std::size_t>(i)],
+              static_cast<Dist>(p.ruling_levels) *
+                  (2 * p.schedule.delta[static_cast<std::size_t>(i)] + 1));
+    // R_{i+1} = 2 (rul_i + delta_i) + R_i.
+    EXPECT_EQ(p.schedule.radius[static_cast<std::size_t>(i) + 1],
+              2 * (p.rul[static_cast<std::size_t>(i)] +
+                   p.schedule.delta[static_cast<std::size_t>(i)]) +
+                  p.schedule.radius[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(DistributedParams, InputValidation) {
+  EXPECT_THROW(DistributedParams::compute(100, 1, 0.4, 0.25), std::invalid_argument);
+  EXPECT_THROW(DistributedParams::compute(100, 8, 0.5, 0.25), std::invalid_argument);
+  EXPECT_THROW(DistributedParams::compute(100, 8, 0.125, 0.25),
+               std::invalid_argument);  // rho == 1/kappa not allowed
+  EXPECT_THROW(DistributedParams::compute(100, 8, 0.4, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW(DistributedParams::compute(100, 8, 0.4, 0.25));
+}
+
+TEST(SpannerParams, GammaAndStages) {
+  const auto p = SpannerParams::compute(4096, 16, 0.4, 0.25);
+  // gamma = max{2, ceil(log2 log2 16)} = max{2, 2} = 2.
+  EXPECT_EQ(p.gamma, 2);
+  // i0 = min{floor(log_2(6.4)), floor(6.4)} = min{2, 6} = 2.
+  EXPECT_EQ(p.i0, 2);
+  // ell' = i0 + ceil(1/rho - 0.5) = 2 + 2 = 4.
+  EXPECT_EQ(p.schedule.ell(), 4);
+  // Transition phase: deg_{i0+1} = n^(rho/2).
+  EXPECT_NEAR(p.schedule.deg[3], std::pow(4096.0, 0.2), 1e-9);
+  // Fixed: n^rho.
+  EXPECT_NEAR(p.schedule.deg[4], std::pow(4096.0, 0.4), 1e-9);
+}
+
+TEST(SpannerParams, En17DegreeFormula) {
+  const auto p = SpannerParams::compute(4096, 16, 0.4, 0.25);
+  // deg_i = n^((2^i-1)/(gamma*kappa) + 1/kappa) for i <= i0.
+  for (int i = 0; i <= p.i0; ++i) {
+    const double exponent =
+        (std::pow(2.0, i) - 1.0) / (static_cast<double>(p.gamma) * 16) + 1.0 / 16;
+    EXPECT_NEAR(p.schedule.deg[static_cast<std::size_t>(i)],
+                std::pow(4096.0, exponent), 1e-6)
+        << i;
+  }
+}
+
+TEST(ParamsHelpers, SizeBoundAndDegree) {
+  EXPECT_EQ(emulator_size_bound(1024, 2), 32768);
+  EXPECT_NEAR(ep01_degree(256, 8, 0), std::pow(256.0, 0.125), 1e-12);
+  EXPECT_NEAR(ep01_degree(256, 8, 3), 256.0, 1e-9);
+}
+
+TEST(ParamsMonotonicity, DeltasAndRadiiGrow) {
+  for (double eps : {0.1, 0.25, 0.5}) {
+    const auto p = CentralizedParams::compute(10000, 32, eps);
+    for (int i = 1; i <= p.schedule.ell(); ++i) {
+      EXPECT_GT(p.schedule.delta[static_cast<std::size_t>(i)],
+                p.schedule.delta[static_cast<std::size_t>(i) - 1]);
+      EXPECT_GT(p.schedule.radius[static_cast<std::size_t>(i)],
+                p.schedule.radius[static_cast<std::size_t>(i) - 1]);
+      EXPECT_GT(p.schedule.beta[static_cast<std::size_t>(i)],
+                p.schedule.beta[static_cast<std::size_t>(i) - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usne

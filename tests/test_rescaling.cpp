@@ -1,0 +1,84 @@
+// Tests for the §2.2.4 / §3.2.4 rescaling API: compute_rescaled must
+// deliver a true (1 + eps_target, beta)-emulator.
+
+#include <gtest/gtest.h>
+
+#include "core/emulator_centralized.hpp"
+#include "core/emulator_fast.hpp"
+#include "core/params.hpp"
+#include "eval/stretch.hpp"
+#include "graph/generators.hpp"
+
+namespace usne {
+namespace {
+
+TEST(Rescaling, CentralizedAlphaMeetsTarget) {
+  for (const double target : {0.1, 0.25, 0.5, 0.9}) {
+    for (const int kappa : {2, 4, 8, 16}) {
+      const auto p = CentralizedParams::compute_rescaled(10000, kappa, target);
+      EXPECT_LE(p.schedule.alpha_bound(), 1.0 + target + 1e-9)
+          << "target=" << target << " kappa=" << kappa;
+      EXPECT_GT(p.eps, 0.0);
+      EXPECT_LE(p.eps, target);
+    }
+  }
+}
+
+TEST(Rescaling, DistributedAlphaMeetsTarget) {
+  for (const double target : {0.25, 0.5}) {
+    const auto p = DistributedParams::compute_rescaled(4096, 8, 0.4, target);
+    EXPECT_LE(p.schedule.alpha_bound(), 1.0 + target + 1e-9);
+  }
+}
+
+TEST(Rescaling, UsesFullEpsWhenBudgetAllows) {
+  // kappa = 1 => ell = 0 => alpha = 1 always: the search must keep the full
+  // eps_target rather than shrinking it pointlessly.
+  const auto p = CentralizedParams::compute_rescaled(1000, 1, 0.5);
+  EXPECT_DOUBLE_EQ(p.eps, 0.5);
+}
+
+TEST(Rescaling, SmallerTargetGivesLargerBeta) {
+  // Tightening the multiplicative budget costs additive error: beta grows
+  // as eps_target shrinks (the paper's trade-off).
+  const auto tight = CentralizedParams::compute_rescaled(10000, 8, 0.1);
+  const auto loose = CentralizedParams::compute_rescaled(10000, 8, 0.9);
+  EXPECT_GE(tight.schedule.beta_bound(), loose.schedule.beta_bound());
+}
+
+TEST(Rescaling, RejectsBadTargets) {
+  EXPECT_THROW(CentralizedParams::compute_rescaled(100, 4, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(CentralizedParams::compute_rescaled(100, 4, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(DistributedParams::compute_rescaled(100, 4, 0.4, -0.1),
+               std::invalid_argument);
+}
+
+TEST(Rescaling, EndToEndStretchWithinTarget) {
+  // The real contract: build with rescaled params, verify the emulator is a
+  // true (1 + eps_target, beta)-emulator via exact APSP.
+  const double target = 0.5;
+  const Graph g = gen_connected_gnm(250, 750, 3);
+  const auto params = CentralizedParams::compute_rescaled(250, 4, target);
+  const auto r = build_emulator_centralized(g, params);
+  const auto report = evaluate_stretch_exact(
+      g, r.h, 1.0 + target, params.schedule.beta_bound());
+  EXPECT_EQ(report.violations, 0)
+      << "alpha=" << params.schedule.alpha_bound()
+      << " beta=" << params.schedule.beta_bound();
+}
+
+TEST(Rescaling, EndToEndFastBuilder) {
+  const double target = 0.5;
+  const Graph g = gen_family("torus", 256, 9);
+  const auto params =
+      DistributedParams::compute_rescaled(g.num_vertices(), 8, 0.4, target);
+  const auto r = build_emulator_fast(g, params);
+  const auto report = evaluate_stretch_exact(
+      g, r.h, 1.0 + target, params.schedule.beta_bound());
+  EXPECT_EQ(report.violations, 0);
+}
+
+}  // namespace
+}  // namespace usne

@@ -1,0 +1,139 @@
+// Tests for the §4 near-additive spanner: subgraph property, size
+// O(n^(1+1/kappa)), stretch, and the size separation against the [EM19]
+// baseline (the paper's Corollary 4.4 improvement).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/params.hpp"
+#include "core/spanner.hpp"
+#include "eval/stretch.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+
+namespace usne {
+namespace {
+
+struct SpannerCase {
+  std::string family;
+  Vertex n;
+  int kappa;
+  double rho;
+  double eps;
+  std::uint64_t seed;
+};
+
+class SpannerSweep : public ::testing::TestWithParam<SpannerCase> {
+ protected:
+  void SetUp() override {
+    const SpannerCase& c = GetParam();
+    graph_ = gen_family(c.family, c.n, c.seed);
+    params_ = SpannerParams::compute(graph_.num_vertices(), c.kappa, c.rho, c.eps);
+    result_ = build_spanner(graph_, params_);
+  }
+
+  Graph graph_;
+  SpannerParams params_;
+  BuildResult result_;
+};
+
+TEST_P(SpannerSweep, IsSubgraph) {
+  EXPECT_TRUE(is_subgraph(result_.h, graph_));
+}
+
+TEST_P(SpannerSweep, SizeWithinConstantFactorOfBound) {
+  // Corollary 4.4 guarantees O(n^(1+1/kappa)); assert a modest constant.
+  const std::int64_t bound =
+      size_bound_edges(graph_.num_vertices(), GetParam().kappa);
+  EXPECT_LE(result_.h.num_edges(), 4 * bound)
+      << "n=" << graph_.num_vertices() << " |H|=" << result_.h.num_edges();
+  // A spanner can never exceed G itself.
+  EXPECT_LE(result_.h.num_edges(), graph_.num_edges());
+}
+
+TEST_P(SpannerSweep, StretchBound) {
+  const auto report = evaluate_stretch_exact(
+      graph_, result_.h, params_.schedule.alpha_bound(),
+      params_.schedule.beta_bound());
+  EXPECT_EQ(report.violations, 0)
+      << "alpha=" << params_.schedule.alpha_bound()
+      << " beta=" << params_.schedule.beta_bound()
+      << " max_add=" << report.max_additive;
+  EXPECT_EQ(report.underruns, 0);  // subgraph: d_H >= d_G automatically
+}
+
+TEST_P(SpannerSweep, Deterministic) {
+  const auto again = build_spanner(graph_, params_);
+  EXPECT_EQ(result_.h.edges(), again.h.edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SpannerSweep,
+    ::testing::Values(
+        SpannerCase{"er", 256, 8, 0.4, 0.25, 1},
+        SpannerCase{"er", 400, 4, 0.45, 0.25, 2},
+        SpannerCase{"ba", 300, 8, 0.4, 0.4, 3},
+        SpannerCase{"torus", 256, 8, 0.35, 0.25, 4},
+        SpannerCase{"caveman", 320, 4, 0.45, 0.4, 5},
+        SpannerCase{"ws", 256, 8, 0.4, 0.25, 6},
+        SpannerCase{"star", 200, 8, 0.4, 0.25, 7},
+        SpannerCase{"tree", 255, 8, 0.4, 0.25, 8}),
+    [](const ::testing::TestParamInfo<SpannerCase>& info) {
+      return info.param.family + "_n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.kappa) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Spanner, PathsConnectRealVertices) {
+  // Every logged spanner edge is a unit edge of G (the add_path contract).
+  const Graph g = gen_connected_gnm(200, 600, 11);
+  const auto params = SpannerParams::compute(200, 8, 0.4, 0.25);
+  const auto r = build_spanner(g, params);
+  for (const ChargedEdge& e : r.edge_log) {
+    EXPECT_EQ(e.w, 1);
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(Spanner, Em19BaselineIsDenser) {
+  // The point of §4: our degree sequence beats [EM19]'s at equal kappa.
+  // EM19's interconnection paths at later phases cost a beta factor; the
+  // separation is asymptotic, but already measurable at laptop scale on
+  // random graphs. Assert ours <= EM19 everywhere and strictly better on
+  // at least one workload.
+  bool strictly_better_somewhere = false;
+  for (const Vertex n : {512, 768, 1024}) {
+    const Graph g = gen_connected_gnm(n, 4 * static_cast<std::int64_t>(n), 5);
+    const auto ours_p = SpannerParams::compute(n, 8, 0.4, 0.25);
+    const auto em19_p = DistributedParams::compute(n, 8, 0.4, 0.25);
+    SpannerOptions options;
+    options.keep_audit_data = false;
+    const auto ours = build_spanner(g, ours_p, options);
+    const auto em19 = build_spanner_em19(g, em19_p, options);
+    EXPECT_LE(ours.h.num_edges(), em19.h.num_edges()) << "n=" << n;
+    if (ours.h.num_edges() < em19.h.num_edges()) strictly_better_somewhere = true;
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
+}
+
+TEST(Spanner, Em19AlsoValid) {
+  // The baseline must still be a correct spanner (it is the prior SOTA,
+  // not a strawman).
+  const Graph g = gen_connected_gnm(250, 750, 21);
+  const auto params = DistributedParams::compute(250, 8, 0.4, 0.25);
+  const auto r = build_spanner_em19(g, params);
+  EXPECT_TRUE(is_subgraph(r.h, g));
+  const auto report = evaluate_stretch_exact(
+      g, r.h, params.schedule.alpha_bound(), params.schedule.beta_bound());
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(Spanner, MismatchedParamsRejected) {
+  const Graph g = gen_path(10);
+  const auto params = SpannerParams::compute(99, 8, 0.4, 0.25);
+  EXPECT_THROW(build_spanner(g, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usne

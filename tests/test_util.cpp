@@ -1,0 +1,165 @@
+// Unit tests for src/util: RNG determinism and distribution sanity, integer
+// math helpers, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace usne {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Math, IpowSat) {
+  EXPECT_EQ(ipow_sat(2, 0), 1);
+  EXPECT_EQ(ipow_sat(2, 10), 1024);
+  EXPECT_EQ(ipow_sat(3, 4), 81);
+  EXPECT_EQ(ipow_sat(10, 19), INT64_MAX);  // overflow saturates
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Math, SizeBoundEdges) {
+  // n^(1+1/kappa) for n=1024, kappa=2 is 1024^1.5 = 32768.
+  EXPECT_EQ(size_bound_edges(1024, 2), 32768);
+  // kappa=10: 1024^1.1 = 2048.0 exactly (2^11).
+  EXPECT_EQ(size_bound_edges(1024, 10), 2048);
+  // Large kappa approaches n.
+  EXPECT_GE(size_bound_edges(1000, 1000), 1000);
+}
+
+TEST(Math, DigitsInBase) {
+  EXPECT_EQ(digits_in_base(10, 10), 1);
+  EXPECT_EQ(digits_in_base(11, 10), 2);
+  EXPECT_EQ(digits_in_base(100, 10), 2);
+  EXPECT_EQ(digits_in_base(101, 10), 3);
+  EXPECT_EQ(digits_in_base(1024, 2), 10);
+}
+
+TEST(Math, DigitAt) {
+  EXPECT_EQ(digit_at(1234, 10, 0), 4);
+  EXPECT_EQ(digit_at(1234, 10, 1), 3);
+  EXPECT_EQ(digit_at(1234, 10, 3), 1);
+  EXPECT_EQ(digit_at(5, 2, 0), 1);
+  EXPECT_EQ(digit_at(5, 2, 1), 0);
+  EXPECT_EQ(digit_at(5, 2, 2), 1);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(Table, MarkdownRendering) {
+  Table t({"a", "bb"});
+  t.row().add("x").add(std::int64_t{42});
+  t.row().add("longer").add(3.14159, 2);
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| a      | bb   |"), std::string::npos);
+  EXPECT_NE(md.find("| x      | 42   |"), std::string::npos);
+  EXPECT_NE(md.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.row().add("1").add("with,comma");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("a,b"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, PrintWithTitle) {
+  Table t({"col"});
+  t.row().add("v");
+  std::ostringstream os;
+  t.print(os, "My Title");
+  EXPECT_NE(os.str().find("### My Title"), std::string::npos);
+}
+
+TEST(Table, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace usne
