@@ -7,9 +7,14 @@
 //
 // Output: measured rounds (with per-step breakdown) against the schedule
 // budget, message totals, endpoint-consistency verdicts, and size bounds.
+// With `--json FILE`, additionally writes the per-row counts as JSON so CI
+// (scripts/check.sh) can track the perf trajectory across PRs.
 
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/emulator_distributed.hpp"
@@ -37,8 +42,21 @@ std::int64_t schedule_budget(const DistributedParams& p) {
 }  // namespace
 }  // namespace usne
 
-int main() {
+int main(int argc, char** argv) {
   using namespace usne;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --json requires a file path\n"
+                  << "usage: bench_congest_rounds [--json FILE]\n";
+        return 2;
+      }
+      json_path = argv[++i];
+    }
+  }
+  std::string json;  // accumulated per-row records
+
   bench::banner("E4  bench_congest_rounds",
                 "Corollary 3.11: deterministic CONGEST construction in "
                 "O(beta * n^rho) rounds; both endpoints know every edge; "
@@ -81,8 +99,24 @@ int main() {
         .add(r.base.h.num_edges())
         .add(size_ok ? "yes" : "NO")
         .add(r.endpoints_consistent() ? "yes" : "NO");
+
+    if (!json.empty()) json += ",\n";
+    json += "    {\"family\": \"" + std::string(row.family) +
+            "\", \"n\": " + std::to_string(g.num_vertices()) +
+            ", \"kappa\": " + std::to_string(row.kappa) +
+            ", \"rounds\": " + std::to_string(r.net.rounds) +
+            ", \"messages\": " + std::to_string(r.net.messages) +
+            ", \"words\": " + std::to_string(r.net.words) +
+            ", \"edges\": " + std::to_string(r.base.h.num_edges()) + "}";
   }
   table.print(std::cout, "E4: CONGEST rounds vs schedule budget");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"congest_rounds\",\n  \"rows\": [\n" << json
+        << "\n  ]\n}\n";
+    std::cout << "\n[wrote " << json_path << "]\n";
+  }
 
   // Per-step breakdown for one representative run.
   {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify + CONGEST perf smoke.
+#
+#   scripts/check.sh           configure, build, run the full test suite,
+#                              then smoke-run bench_congest_rounds and emit
+#                              BENCH_congest.json (round/message/word counts
+#                              per workload — the cross-PR perf trajectory).
+#
+# Exits non-zero on any build or test failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B build -S . >/dev/null
+
+echo "== build =="
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1 tests =="
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== CONGEST perf smoke =="
+./build/bench_congest_rounds --json BENCH_congest.json
+
+echo "== done =="

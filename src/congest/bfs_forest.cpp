@@ -2,12 +2,106 @@
 
 #include <algorithm>
 
+#include "congest/engine.hpp"
+
 namespace usne::congest {
 namespace {
 
 // Message tags for forest construction.
 constexpr Word kWave = 1;  // <kWave, root>
 constexpr Word kJoin = 2;  // <kJoin> to parent
+
+/// BFS forest growth as a NodeProgram: `depth` wave rounds in which an
+/// unclaimed vertex adopts the smallest (root, sender) wave it hears and
+/// re-broadcasts next round, then one join round in which every spanned
+/// non-root notifies its parent (so parents know their children).
+class BfsForestProgram final : public NodeProgram {
+ public:
+  BfsForestProgram(Vertex n, const std::vector<Vertex>& roots, Dist depth)
+      : n_(n), depth_(depth) {
+    forest_.root.assign(static_cast<std::size_t>(n), -1);
+    forest_.depth.assign(static_cast<std::size_t>(n), kInfDist);
+    forest_.parent.assign(static_cast<std::size_t>(n), -1);
+    for (const Vertex r : roots) {
+      if (forest_.root[static_cast<std::size_t>(r)] == -1) {
+        forest_.root[static_cast<std::size_t>(r)] = r;
+        forest_.depth[static_cast<std::size_t>(r)] = 0;
+        frontier_.push_back(r);
+      }
+    }
+  }
+
+  void init(Outbox& out) override {
+    if (depth_ > 0) {
+      broadcast_waves(out);
+    } else {
+      send_joins(out);  // degenerate schedule: only the join round runs
+    }
+    frontier_.clear();
+  }
+
+  void on_round(std::int64_t round, Vertex v, std::span<const Received> inbox,
+                Outbox&) override {
+    if (round >= depth_) return;  // join-round traffic carries no state
+    if (forest_.root[static_cast<std::size_t>(v)] != -1) return;  // claimed
+    // Deterministic adoption: smallest root, then smallest sender.
+    Vertex best_root = -1;
+    Vertex best_from = -1;
+    for (const Received& r : inbox) {
+      if (r.msg.words[0] != kWave) continue;
+      const Vertex root = static_cast<Vertex>(r.msg.words[1]);
+      if (best_root == -1 || root < best_root ||
+          (root == best_root && r.from < best_from)) {
+        best_root = root;
+        best_from = r.from;
+      }
+    }
+    if (best_root != -1) {
+      forest_.root[static_cast<std::size_t>(v)] = best_root;
+      forest_.depth[static_cast<std::size_t>(v)] = round + 1;
+      forest_.parent[static_cast<std::size_t>(v)] = best_from;
+      frontier_.push_back(v);
+    }
+  }
+
+  void end_round(std::int64_t round, Outbox& out) override {
+    if (round >= depth_) return;
+    std::sort(frontier_.begin(), frontier_.end());
+    if (round + 1 < depth_) {
+      broadcast_waves(out);
+    } else {
+      send_joins(out);
+    }
+    frontier_.clear();
+  }
+
+  bool done(std::int64_t next_round) const override {
+    return next_round >= depth_ + 1;
+  }
+
+  BfsForest take_forest() { return std::move(forest_); }
+
+ private:
+  void broadcast_waves(Outbox& out) {
+    for (const Vertex v : frontier_) {
+      out.broadcast(
+          v, Message::of(kWave, forest_.root[static_cast<std::size_t>(v)]));
+    }
+  }
+
+  /// Join notifications: each spanned non-root tells its parent.
+  void send_joins(Outbox& out) {
+    for (Vertex v = 0; v < n_; ++v) {
+      const Vertex p = forest_.parent[static_cast<std::size_t>(v)];
+      if (p != -1) out.send(v, p, Message::of(kJoin));
+    }
+  }
+
+  Vertex n_;
+  Dist depth_;
+  BfsForest forest_;
+  std::vector<Vertex> frontier_;
+};
 
 }  // namespace
 
@@ -22,60 +116,9 @@ std::vector<std::vector<Vertex>> BfsForest::children() const {
 
 BfsForest build_bfs_forest(Network& net, const std::vector<Vertex>& roots,
                            Dist depth) {
-  const Vertex n = net.num_vertices();
-  BfsForest f;
-  f.root.assign(static_cast<std::size_t>(n), -1);
-  f.depth.assign(static_cast<std::size_t>(n), kInfDist);
-  f.parent.assign(static_cast<std::size_t>(n), -1);
-
-  std::vector<Vertex> frontier;
-  for (const Vertex r : roots) {
-    if (f.root[static_cast<std::size_t>(r)] == -1) {
-      f.root[static_cast<std::size_t>(r)] = r;
-      f.depth[static_cast<std::size_t>(r)] = 0;
-      frontier.push_back(r);
-    }
-  }
-
-  for (Dist d = 0; d < depth; ++d) {
-    for (const Vertex v : frontier) {
-      net.broadcast(v, Message::of(kWave, f.root[static_cast<std::size_t>(v)]));
-    }
-    net.advance_round();
-    frontier.clear();
-    for (const Vertex v : net.delivered_to()) {
-      if (f.root[static_cast<std::size_t>(v)] != -1) continue;  // already claimed
-      // Deterministic adoption: smallest root, then smallest sender.
-      Vertex best_root = -1;
-      Vertex best_from = -1;
-      for (const Received& r : net.inbox(v)) {
-        if (r.msg.words[0] != kWave) continue;
-        const Vertex root = static_cast<Vertex>(r.msg.words[1]);
-        if (best_root == -1 || root < best_root ||
-            (root == best_root && r.from < best_from)) {
-          best_root = root;
-          best_from = r.from;
-        }
-      }
-      if (best_root != -1) {
-        f.root[static_cast<std::size_t>(v)] = best_root;
-        f.depth[static_cast<std::size_t>(v)] = d + 1;
-        f.parent[static_cast<std::size_t>(v)] = best_from;
-        frontier.push_back(v);
-      }
-    }
-    std::sort(frontier.begin(), frontier.end());
-  }
-
-  // Join notifications: each spanned non-root tells its parent, so parents
-  // know their children (needed by the backtracking/broadcast steps).
-  for (Vertex v = 0; v < n; ++v) {
-    if (f.parent[static_cast<std::size_t>(v)] != -1) {
-      net.send(v, f.parent[static_cast<std::size_t>(v)], Message::of(kJoin));
-    }
-  }
-  net.advance_round();
-  return f;
+  BfsForestProgram program(net.num_vertices(), roots, depth);
+  Scheduler(net).run(program);
+  return program.take_forest();
 }
 
 }  // namespace usne::congest

@@ -2,10 +2,121 @@
 
 #include <algorithm>
 
+#include "congest/engine.hpp"
+
 namespace usne::congest {
 namespace {
 
 constexpr Word kExplore = 4;  // <kExplore, source, dist>
+
+/// Algorithm 2 as a NodeProgram. The schedule is delta strides of `cap`
+/// rounds; in round t of a stride every active vertex broadcasts the t-th
+/// source it learnt during the previous stride. Stride boundaries recompute
+/// the pending lists (smallest (dist, id) first, truncated to cap).
+class DetectProgram final : public NodeProgram {
+ public:
+  DetectProgram(Vertex n, const std::vector<Vertex>& sources, Dist delta,
+                std::int64_t cap)
+      : n_(n), cap_(cap), total_rounds_(delta * cap) {
+    hits_.assign(static_cast<std::size_t>(n), {});
+    pending_.assign(static_cast<std::size_t>(n), {});
+    std::vector<Vertex> sorted = sources;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (const Vertex s : sorted) {
+      hits_[static_cast<std::size_t>(s)].push_back({s, 0, -1});
+      pending_[static_cast<std::size_t>(s)].push_back({s, 0, -1});
+      active_.push_back(s);
+    }
+  }
+
+  void init(Outbox& out) override {
+    if (total_rounds_ > 0) send_entries(0, out);
+  }
+
+  void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
+                Outbox&) override {
+    auto& known = hits_[static_cast<std::size_t>(v)];
+    for (const Received& r : inbox) {
+      if (r.msg.words[0] != kExplore) continue;
+      const Vertex src = static_cast<Vertex>(r.msg.words[1]);
+      const Dist d = r.msg.words[2] + 1;
+      const bool duplicate =
+          std::any_of(known.begin(), known.end(),
+                      [&](const SourceHit& h) { return h.source == src; });
+      if (!duplicate) known.push_back({src, d, r.from});
+    }
+  }
+
+  void end_round(std::int64_t round, Outbox& out) override {
+    if (round + 1 >= total_rounds_) return;  // schedule exhausted
+    const std::int64_t t = round % cap_;
+    if (t == cap_ - 1) {
+      stride_boundary(round / cap_ + 1);
+      send_entries(0, out);
+    } else {
+      send_entries(t + 1, out);
+    }
+  }
+
+  bool done(std::int64_t next_round) const override {
+    return next_round >= total_rounds_;
+  }
+
+  std::vector<std::vector<SourceHit>> take_hits() {
+    for (auto& known : hits_) {
+      std::sort(known.begin(), known.end(),
+                [](const SourceHit& a, const SourceHit& b) {
+                  return a.dist != b.dist ? a.dist < b.dist
+                                          : a.source < b.source;
+                });
+    }
+    return std::move(hits_);
+  }
+
+ private:
+  void send_entries(std::int64_t t, Outbox& out) {
+    for (const Vertex v : active_) {
+      const auto& list = pending_[static_cast<std::size_t>(v)];
+      if (static_cast<std::int64_t>(list.size()) > t) {
+        const SourceHit& h = list[static_cast<std::size_t>(t)];
+        out.broadcast(v, Message::of(kExplore, h.source, h.dist));
+      }
+    }
+  }
+
+  /// Pending lists for the next stride = sources learnt during the stride
+  /// just completed, truncated to the cap (smallest (dist, id) first —
+  /// deterministic specialization of the paper's arbitrary choice).
+  void stride_boundary(Dist completed_stride) {
+    for (const Vertex v : active_) pending_[static_cast<std::size_t>(v)].clear();
+    active_.clear();
+    for (Vertex v = 0; v < n_; ++v) {
+      auto& known = hits_[static_cast<std::size_t>(v)];
+      std::vector<SourceHit> fresh;
+      for (const SourceHit& h : known) {
+        if (h.dist == completed_stride) fresh.push_back(h);
+      }
+      if (fresh.empty()) continue;
+      std::sort(fresh.begin(), fresh.end(),
+                [](const SourceHit& a, const SourceHit& b) {
+                  return a.source < b.source;  // equal dist within a stride
+                });
+      if (static_cast<std::int64_t>(fresh.size()) > cap_) {
+        fresh.resize(static_cast<std::size_t>(cap_));
+      }
+      pending_[static_cast<std::size_t>(v)] = std::move(fresh);
+      active_.push_back(v);
+    }
+  }
+
+  Vertex n_;
+  std::int64_t cap_;
+  std::int64_t total_rounds_;
+  std::vector<std::vector<SourceHit>> hits_;
+  std::vector<std::vector<SourceHit>> pending_;
+  std::vector<Vertex> active_;
+};
 
 }  // namespace
 
@@ -42,80 +153,11 @@ std::vector<Vertex> DetectResult::path_to(Vertex v, Vertex source) const {
 
 DetectResult detect_congest(Network& net, const std::vector<Vertex>& sources,
                             Dist delta, std::int64_t cap) {
-  const Vertex n = net.num_vertices();
-  const std::int64_t start_rounds = net.stats().rounds;
-
+  DetectProgram program(net.num_vertices(), sources, delta, cap);
+  const ScheduleReport report = Scheduler(net).run(program);
   DetectResult result;
-  result.hits.assign(static_cast<std::size_t>(n), {});
-
-  // Per-vertex list of sources learnt in the previous stride, to be
-  // forwarded in the current stride (at most `cap` of them).
-  std::vector<std::vector<SourceHit>> pending(static_cast<std::size_t>(n));
-  std::vector<Vertex> active;  // vertices with a non-empty pending list
-
-  std::vector<Vertex> sorted = sources;
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  for (const Vertex s : sorted) {
-    result.hits[static_cast<std::size_t>(s)].push_back({s, 0, -1});
-    pending[static_cast<std::size_t>(s)].push_back({s, 0, -1});
-    active.push_back(s);
-  }
-
-  for (Dist stride = 1; stride <= delta; ++stride) {
-    // `cap` rounds: in round t every active vertex broadcasts its t-th
-    // pending entry (one message per directed edge per round).
-    for (std::int64_t t = 0; t < cap; ++t) {
-      for (const Vertex v : active) {
-        const auto& list = pending[static_cast<std::size_t>(v)];
-        if (static_cast<std::int64_t>(list.size()) > t) {
-          const SourceHit& h = list[static_cast<std::size_t>(t)];
-          net.broadcast(v, Message::of(kExplore, h.source, h.dist));
-        }
-      }
-      net.advance_round();
-      // Collect newly-heard sources; they become next stride's pending.
-      for (const Vertex v : net.delivered_to()) {
-        auto& known = result.hits[static_cast<std::size_t>(v)];
-        for (const Received& r : net.inbox(v)) {
-          if (r.msg.words[0] != kExplore) continue;
-          const Vertex src = static_cast<Vertex>(r.msg.words[1]);
-          const Dist d = r.msg.words[2] + 1;
-          const bool duplicate =
-              std::any_of(known.begin(), known.end(),
-                          [&](const SourceHit& h) { return h.source == src; });
-          if (!duplicate) known.push_back({src, d, r.from});
-        }
-      }
-    }
-
-    // Stride boundary: recompute pending lists = sources learnt this stride,
-    // truncated to the cap (smallest (dist, id) first — deterministic
-    // specialization of the paper's arbitrary choice).
-    for (const Vertex v : active) pending[static_cast<std::size_t>(v)].clear();
-    active.clear();
-    for (Vertex v = 0; v < n; ++v) {
-      auto& known = result.hits[static_cast<std::size_t>(v)];
-      std::vector<SourceHit> fresh;
-      for (const SourceHit& h : known) {
-        if (h.dist == stride) fresh.push_back(h);
-      }
-      if (fresh.empty()) continue;
-      std::sort(fresh.begin(), fresh.end(), [](const SourceHit& a, const SourceHit& b) {
-        return a.source < b.source;  // equal dist within a stride
-      });
-      if (static_cast<std::int64_t>(fresh.size()) > cap) fresh.resize(static_cast<std::size_t>(cap));
-      pending[static_cast<std::size_t>(v)] = std::move(fresh);
-      active.push_back(v);
-    }
-  }
-
-  for (auto& known : result.hits) {
-    std::sort(known.begin(), known.end(), [](const SourceHit& a, const SourceHit& b) {
-      return a.dist != b.dist ? a.dist < b.dist : a.source < b.source;
-    });
-  }
-  result.rounds_used = net.stats().rounds - start_rounds;
+  result.hits = program.take_hits();
+  result.rounds_used = report.rounds;
   return result;
 }
 

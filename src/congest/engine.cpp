@@ -1,0 +1,29 @@
+#include "congest/engine.hpp"
+
+namespace usne::congest {
+
+ScheduleReport Scheduler::run(NodeProgram& program) {
+  ScheduleReport report;
+  const NetworkStats before = net_->stats();
+
+  Outbox out(*net_);
+  program.init(out);
+  for (std::int64_t round = 0; !program.done(round); ++round) {
+    net_->advance_round();
+    const auto& delivered = net_->delivered_to();
+    if (delivered.empty()) ++report.idle_rounds;
+    for (const Vertex v : delivered) {
+      program.on_round(round, v, net_->inbox(v), out);
+    }
+    program.end_round(round, out);
+  }
+
+  const NetworkStats after = net_->stats();
+  report.rounds = after.rounds - before.rounds;
+  report.traffic = {after.rounds - before.rounds,
+                    after.messages - before.messages,
+                    after.words - before.words};
+  return report;
+}
+
+}  // namespace usne::congest

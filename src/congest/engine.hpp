@@ -1,0 +1,160 @@
+#pragma once
+
+// CONGEST execution engine: NodeProgram + Scheduler.
+//
+// Every distributed algorithm in this repository is a NodeProgram — a
+// node-local protocol described by three hooks:
+//
+//   init(out)                 seed per-node state and the first round's
+//                             sends;
+//   on_round(r, v, inbox, out) per-vertex delivery callback, invoked once
+//                             for every vertex with a non-empty inbox
+//                             (ascending vertex order) after round r's
+//                             delivery; sends issued here arrive next round;
+//   end_round(r, out)         central end-of-round hook for schedule-driven
+//                             sends and stride boundaries (a real CONGEST
+//                             node derives these from its local round
+//                             counter; centralizing them keeps the
+//                             simulation honest and the code short);
+//   done(next_round)          schedule exhaustion test, checked before each
+//                             round.
+//
+// The Scheduler is the only component that calls Network::advance_round():
+// it owns round advancement, meters idle rounds (rounds delivering no
+// message — fixed schedules burn them deliberately), and reports the
+// traffic accrued by the program. Hosting every algorithm on this one
+// driver is what lets later work (parallel round execution, fault
+// injection, async delivery) change the engine without touching algorithm
+// code.
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace usne::congest {
+
+/// Send facade handed to programs. Programs transmit through this and never
+/// touch round advancement (that is the Scheduler's job).
+class Outbox {
+ public:
+  explicit Outbox(Network& net) : net_(&net) {}
+
+  void send(Vertex from, Vertex to, const Message& msg) {
+    net_->send(from, to, msg);
+  }
+  void broadcast(Vertex from, const Message& msg) {
+    net_->broadcast(from, msg);
+  }
+
+ private:
+  Network* net_;
+};
+
+/// A node-local synchronous protocol. See the file comment for the hook
+/// contract. Rounds are numbered from 0 relative to the program's start.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Seeds node state and the sends of round 0.
+  virtual void init(Outbox& out) = 0;
+
+  /// Delivery callback for round `round`: v's inbox, sorted by sender.
+  virtual void on_round(std::int64_t round, Vertex v,
+                        std::span<const Received> inbox, Outbox& out) = 0;
+
+  /// Central hook after all on_round calls of `round`.
+  virtual void end_round(std::int64_t round, Outbox& out) {
+    (void)round;
+    (void)out;
+  }
+
+  /// True when the schedule is exhausted; `next_round` is the 0-based index
+  /// of the round that would run next.
+  virtual bool done(std::int64_t next_round) const = 0;
+};
+
+/// What one program execution cost.
+struct ScheduleReport {
+  std::int64_t rounds = 0;       ///< rounds driven for this program
+  std::int64_t idle_rounds = 0;  ///< rounds that delivered no message
+  NetworkStats traffic;          ///< stats accrued while the program ran
+};
+
+/// Per-vertex pipelined send queues for down-cast protocols (the emulator
+/// notification epoch, the spanner path marks). Each drain_round call
+/// models one CONGEST round: every vertex dispatches at most one queued
+/// item per distinct neighbour and defers the rest, so the per-edge cap
+/// holds by construction.
+template <typename Payload>
+class PipelinedQueues {
+ public:
+  explicit PipelinedQueues(Vertex n = 0) { resize(n); }
+
+  void resize(Vertex n) { queues_.resize(static_cast<std::size_t>(n)); }
+
+  void push(Vertex from, Vertex to, Payload payload) {
+    queues_[static_cast<std::size_t>(from)].push_back(
+        {to, std::move(payload)});
+    ++queued_;
+  }
+
+  /// Items still queued (excluding anything already handed to `send`).
+  std::int64_t queued() const noexcept { return queued_; }
+
+  /// One pipelined round: dispatches through send(from, to, payload).
+  /// Returns true if anything was sent.
+  template <typename SendFn>
+  bool drain_round(SendFn&& send) {
+    bool any = false;
+    for (std::size_t v = 0; v < queues_.size(); ++v) {
+      auto& queue = queues_[v];
+      if (queue.empty()) continue;
+      std::vector<std::pair<Vertex, Payload>> deferred;
+      std::vector<Vertex> used;  // destinations served this round
+      while (!queue.empty()) {
+        auto [to, payload] = std::move(queue.front());
+        queue.pop_front();
+        if (std::find(used.begin(), used.end(), to) != used.end()) {
+          deferred.push_back({to, std::move(payload)});
+          continue;
+        }
+        used.push_back(to);
+        --queued_;
+        send(static_cast<Vertex>(v), to, payload);
+        any = true;
+      }
+      for (auto& d : deferred) queue.push_back(std::move(d));
+    }
+    return any;
+  }
+
+ private:
+  std::vector<std::deque<std::pair<Vertex, Payload>>> queues_;
+  std::int64_t queued_ = 0;
+};
+
+/// Drives NodePrograms over a Network. Several programs may run back to
+/// back on the same network (the phases of the emulator construction do);
+/// stats accumulate across them in Network::stats() while each report
+/// carries the per-program delta.
+class Scheduler {
+ public:
+  explicit Scheduler(Network& net) : net_(&net) {}
+
+  Network& net() noexcept { return *net_; }
+
+  /// Runs `program` to completion. The Scheduler performs every
+  /// advance_round call; the program only sends.
+  ScheduleReport run(NodeProgram& program);
+
+ private:
+  Network* net_;
+};
+
+}  // namespace usne::congest

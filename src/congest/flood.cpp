@@ -1,38 +1,69 @@
 #include "congest/flood.hpp"
 
+#include "congest/engine.hpp"
+
 namespace usne::congest {
 namespace {
 
 constexpr Word kPresence = 3;  // <kPresence>
 
+/// Presence flood as a NodeProgram: a vertex first reached in round r
+/// records distance r+1 and forwards the presence wave next round (unless
+/// the schedule ends first). Sources are seeded in init.
+class FloodProgram final : public NodeProgram {
+ public:
+  FloodProgram(Vertex n, const std::vector<Vertex>& sources, Dist depth)
+      : depth_(depth) {
+    dist_.assign(static_cast<std::size_t>(n), kInfDist);
+    for (const Vertex s : sources) {
+      if (dist_[static_cast<std::size_t>(s)] != 0) {
+        dist_[static_cast<std::size_t>(s)] = 0;
+        frontier_.push_back(s);
+      }
+    }
+  }
+
+  void init(Outbox& out) override {
+    if (depth_ > 0) {
+      for (const Vertex v : frontier_) out.broadcast(v, Message::of(kPresence));
+    }
+    frontier_.clear();
+  }
+
+  void on_round(std::int64_t round, Vertex v, std::span<const Received>,
+                Outbox&) override {
+    if (dist_[static_cast<std::size_t>(v)] == kInfDist) {
+      dist_[static_cast<std::size_t>(v)] = round + 1;
+      frontier_.push_back(v);
+    }
+  }
+
+  void end_round(std::int64_t round, Outbox& out) override {
+    if (round + 1 < depth_) {
+      for (const Vertex v : frontier_) out.broadcast(v, Message::of(kPresence));
+    }
+    frontier_.clear();
+  }
+
+  bool done(std::int64_t next_round) const override {
+    return next_round >= depth_;
+  }
+
+  std::vector<Dist> take_dist() { return std::move(dist_); }
+
+ private:
+  Dist depth_;
+  std::vector<Dist> dist_;
+  std::vector<Vertex> frontier_;
+};
+
 }  // namespace
 
 FloodResult flood_presence(Network& net, const std::vector<Vertex>& sources,
                            Dist depth) {
-  const Vertex n = net.num_vertices();
-  FloodResult result;
-  result.dist.assign(static_cast<std::size_t>(n), kInfDist);
-
-  std::vector<Vertex> frontier;
-  for (const Vertex s : sources) {
-    if (result.dist[static_cast<std::size_t>(s)] != 0) {
-      result.dist[static_cast<std::size_t>(s)] = 0;
-      frontier.push_back(s);
-    }
-  }
-
-  for (Dist d = 0; d < depth; ++d) {
-    for (const Vertex v : frontier) net.broadcast(v, Message::of(kPresence));
-    net.advance_round();
-    frontier.clear();
-    for (const Vertex v : net.delivered_to()) {
-      if (result.dist[static_cast<std::size_t>(v)] == kInfDist) {
-        result.dist[static_cast<std::size_t>(v)] = d + 1;
-        frontier.push_back(v);
-      }
-    }
-  }
-  return result;
+  FloodProgram program(net.num_vertices(), sources, depth);
+  Scheduler(net).run(program);
+  return {program.take_dist()};
 }
 
 }  // namespace usne::congest

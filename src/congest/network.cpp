@@ -7,8 +7,9 @@ namespace usne::congest {
 
 Network::Network(const Graph& g)
     : graph_(&g),
-      inbox_(static_cast<std::size_t>(g.num_vertices())),
-      pending_(static_cast<std::size_t>(g.num_vertices())),
+      inbox_begin_(static_cast<std::size_t>(g.num_vertices()), 0),
+      inbox_count_(static_cast<std::size_t>(g.num_vertices()), 0),
+      pending_count_(static_cast<std::size_t>(g.num_vertices()), 0),
       edge_round_stamp_(static_cast<std::size_t>(g.num_edges()) * 2, -1) {}
 
 std::int64_t Network::directed_edge_id(Vertex from, Vertex to) const {
@@ -37,9 +38,10 @@ void Network::send(Vertex from, Vertex to, const Message& msg) {
   }
   stamp = stats_.rounds;
 
-  auto& queue = pending_[static_cast<std::size_t>(to)];
-  if (queue.empty()) pending_nodes_.push_back(to);
-  queue.push_back({from, msg});
+  if (pending_count_[static_cast<std::size_t>(to)]++ == 0) {
+    pending_nodes_.push_back(to);
+  }
+  pending_.push_back({to, {from, msg}});
   ++stats_.messages;
   stats_.words += msg.size;
 }
@@ -49,22 +51,40 @@ void Network::broadcast(Vertex from, const Message& msg) {
 }
 
 void Network::advance_round() {
-  // Clear the previous round's inboxes.
-  for (const Vertex v : delivered_) inbox_[static_cast<std::size_t>(v)].clear();
+  // Retire the previous round's delivery state (only delivered vertices have
+  // non-zero counts, so the reset touches exactly the prior traffic).
+  for (const Vertex v : delivered_) inbox_count_[static_cast<std::size_t>(v)] = 0;
   delivered_.clear();
 
-  // Deliver pending messages.
+  // Counting-sort the staged messages into the delivery arena: receivers in
+  // ascending order, one contiguous run each.
   std::sort(pending_nodes_.begin(), pending_nodes_.end());
+  std::int64_t offset = 0;
   for (const Vertex v : pending_nodes_) {
-    inbox_[static_cast<std::size_t>(v)].swap(pending_[static_cast<std::size_t>(v)]);
-    // Deterministic processing order for receivers.
-    auto& box = inbox_[static_cast<std::size_t>(v)];
-    std::sort(box.begin(), box.end(), [](const Received& a, const Received& b) {
-      return a.from < b.from;
-    });
-    delivered_.push_back(v);
+    inbox_begin_[static_cast<std::size_t>(v)] = offset;
+    offset += pending_count_[static_cast<std::size_t>(v)];
   }
+  if (arena_.size() < pending_.size()) arena_.resize(pending_.size());
+  for (const Pending& p : pending_) {
+    const auto to = static_cast<std::size_t>(p.to);
+    arena_[static_cast<std::size_t>(inbox_begin_[to] + inbox_count_[to]++)] =
+        p.rcv;
+  }
+  // Deterministic processing order for receivers: sort each run by sender
+  // (unique per run — the per-edge cap admits one message per neighbour).
+  for (const Vertex v : pending_nodes_) {
+    const auto sv = static_cast<std::size_t>(v);
+    Received* const first =
+        arena_.data() + static_cast<std::size_t>(inbox_begin_[sv]);
+    std::sort(first, first + static_cast<std::size_t>(inbox_count_[sv]),
+              [](const Received& a, const Received& b) {
+                return a.from < b.from;
+              });
+    pending_count_[sv] = 0;
+  }
+  delivered_.swap(pending_nodes_);
   pending_nodes_.clear();
+  pending_.clear();
   ++stats_.rounds;
 }
 

@@ -13,10 +13,19 @@
 // experiments (bench E4) report these against the paper's O(beta * n^rho)
 // bound. Rounds with no traffic still count (algorithms in this repository
 // run on fixed, parameter-determined schedules exactly like the paper's).
+//
+// Storage is a pair of double-buffered flat arenas rather than per-vertex
+// queues: sends append to a contiguous staging buffer, and advance_round()
+// counting-sorts it into a CSR-shaped delivery arena (one contiguous
+// Received run per receiving vertex). All buffers are reused across rounds,
+// so round advancement performs no heap allocation once the per-round
+// traffic high-water mark has been reached.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -34,11 +43,17 @@ struct Message {
   Word words[kMaxWords] = {};
   int size = 0;
 
-  static Message of(Word a) { return Message{{a, 0, 0, 0}, 1}; }
-  static Message of(Word a, Word b) { return Message{{a, b, 0, 0}, 2}; }
-  static Message of(Word a, Word b, Word c) { return Message{{a, b, c, 0}, 3}; }
-  static Message of(Word a, Word b, Word c, Word d) {
-    return Message{{a, b, c, d}, 4};
+  /// Builds a message from 1..kMaxWords integral words; arity is checked at
+  /// compile time against the O(1)-word cap.
+  template <typename... Ws>
+  static Message of(Ws... ws) {
+    static_assert(sizeof...(Ws) >= 1 &&
+                      sizeof...(Ws) <= static_cast<std::size_t>(kMaxWords),
+                  "a CONGEST message carries 1..kMaxWords words");
+    static_assert((std::is_convertible_v<Ws, Word> && ...),
+                  "message payload must be integral words");
+    return Message{{static_cast<Word>(ws)...},
+                   static_cast<int>(sizeof...(Ws))};
   }
 };
 
@@ -86,12 +101,17 @@ class Network {
   /// idle rounds that still count, matching fixed schedules).
   void advance_rounds(std::int64_t k);
 
-  /// Messages delivered to v at the start of the current round.
+  /// Messages delivered to v at the start of the current round, sorted by
+  /// sender. The span points into the delivery arena and is invalidated by
+  /// the next advance_round().
   std::span<const Received> inbox(Vertex v) const {
-    return inbox_[static_cast<std::size_t>(v)];
+    const std::int64_t count = inbox_count_[static_cast<std::size_t>(v)];
+    if (count == 0) return {};
+    return {arena_.data() + inbox_begin_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(count)};
   }
 
-  /// Vertices with a non-empty inbox this round (deterministic order).
+  /// Vertices with a non-empty inbox this round (ascending).
   const std::vector<Vertex>& delivered_to() const noexcept {
     return delivered_;
   }
@@ -99,13 +119,25 @@ class Network {
   const NetworkStats& stats() const noexcept { return stats_; }
 
  private:
+  /// A staged message: recipient plus the Received it will become.
+  struct Pending {
+    Vertex to = -1;
+    Received rcv;
+  };
+
   std::int64_t directed_edge_id(Vertex from, Vertex to) const;
 
   const Graph* graph_ = nullptr;
-  std::vector<std::vector<Received>> inbox_;    // current round
-  std::vector<std::vector<Received>> pending_;  // next round
-  std::vector<Vertex> delivered_;               // nodes with non-empty inbox
-  std::vector<Vertex> pending_nodes_;           // nodes with pending messages
+  // Double-buffered arenas: sends of the current round append to pending_
+  // (flat, send order); advance_round() counting-sorts it into arena_ (flat,
+  // CSR by receiver, addressed by inbox_begin_/inbox_count_).
+  std::vector<Pending> pending_;
+  std::vector<Received> arena_;
+  std::vector<std::int64_t> inbox_begin_;     // per-vertex offset into arena_
+  std::vector<std::int64_t> inbox_count_;     // per-vertex run length
+  std::vector<std::int64_t> pending_count_;   // per-vertex staged count
+  std::vector<Vertex> delivered_;             // nodes with non-empty inbox
+  std::vector<Vertex> pending_nodes_;         // nodes with staged messages
   // Per-directed-edge round stamp for the one-message-per-edge cap; lazily
   // reset by comparing against the current round number.
   std::vector<std::int64_t> edge_round_stamp_;

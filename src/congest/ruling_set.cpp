@@ -2,54 +2,143 @@
 
 #include <algorithm>
 
-#include "congest/flood.hpp"
+#include "congest/engine.hpp"
 #include "util/math.hpp"
 
 namespace usne::congest {
+namespace {
+
+constexpr Word kPresence = 3;  // same wire format as the presence flood
+
+/// The digit sweep as one NodeProgram. The schedule is a nest of
+///   level (most-significant digit first, while >1 candidate survives)
+///     × digit value (base-1 down to 0)
+///       × q+1 presence-flood rounds from the batch selected at the
+///         previous value,
+/// with all bookkeeping node-local: a vertex is covered once any flood of
+/// the current level reaches it, and a candidate whose digit matches the
+/// current value selects itself iff it is uncovered. Idle flood rounds
+/// (empty batch) still burn — the schedule is fixed, like the paper's.
+class RulingSetProgram final : public NodeProgram {
+ public:
+  RulingSetProgram(Vertex n, const std::vector<Vertex>& w, Dist q,
+                   std::int64_t base, int levels)
+      : q_(q), base_(base) {
+    candidates_ = w;
+    std::sort(candidates_.begin(), candidates_.end());
+    candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                      candidates_.end());
+    covered_.assign(static_cast<std::size_t>(n), false);
+    reach_epoch_.assign(static_cast<std::size_t>(n), 0);
+    level_ = levels - 1;
+    finished_ = level_ < 0 || candidates_.size() <= 1;
+  }
+
+  void init(Outbox& out) override {
+    if (finished_) return;
+    begin_level();
+    seed_flood(out);
+  }
+
+  void on_round(std::int64_t, Vertex v, std::span<const Received>,
+                Outbox&) override {
+    if (reach_epoch_[static_cast<std::size_t>(v)] == epoch_) return;
+    reach_epoch_[static_cast<std::size_t>(v)] = epoch_;
+    covered_[static_cast<std::size_t>(v)] = true;
+    frontier_.push_back(v);
+  }
+
+  void end_round(std::int64_t, Outbox& out) override {
+    if (flood_round_ + 1 < q_ + 1) {
+      // The flood has rounds left: forward the freshly-reached frontier.
+      ++flood_round_;
+      for (const Vertex v : frontier_) {
+        out.broadcast(v, Message::of(kPresence));
+      }
+      frontier_.clear();
+      return;
+    }
+    frontier_.clear();
+
+    // Sweep-step boundary: uncovered candidates with the current digit
+    // value survive and become the next flood's sources.
+    last_batch_.clear();
+    for (const Vertex v : candidates_) {
+      if (digit_at(v, base_, level_) != val_) continue;
+      if (!covered_[static_cast<std::size_t>(v)]) {
+        selected_.push_back(v);
+        last_batch_.push_back(v);
+      }
+    }
+
+    --val_;
+    if (val_ < 0) {
+      // Level boundary.
+      std::sort(selected_.begin(), selected_.end());
+      candidates_ = std::move(selected_);
+      selected_.clear();
+      --level_;
+      if (level_ < 0 || candidates_.size() <= 1) {
+        finished_ = true;
+        return;
+      }
+      begin_level();
+    }
+    seed_flood(out);
+  }
+
+  bool done(std::int64_t) const override { return finished_; }
+
+  std::vector<Vertex> take_members() { return std::move(candidates_); }
+
+ private:
+  void begin_level() {
+    std::fill(covered_.begin(), covered_.end(), false);
+    val_ = base_ - 1;
+    last_batch_.clear();
+  }
+
+  /// Starts the q+1-round presence flood of the current sweep step.
+  void seed_flood(Outbox& out) {
+    ++epoch_;
+    flood_round_ = 0;
+    for (const Vertex s : last_batch_) {
+      reach_epoch_[static_cast<std::size_t>(s)] = epoch_;
+      covered_[static_cast<std::size_t>(s)] = true;
+      out.broadcast(s, Message::of(kPresence));
+    }
+  }
+
+  Dist q_;
+  std::int64_t base_;
+  int level_ = -1;                    // current digit position
+  std::int64_t val_ = 0;              // current digit value
+  Dist flood_round_ = 0;              // round within the current flood
+  std::int64_t epoch_ = 0;            // flood epoch for reach stamps
+  bool finished_ = false;
+  std::vector<Vertex> candidates_;    // survivors so far (ascending)
+  std::vector<Vertex> selected_;      // survivors of the current level
+  std::vector<Vertex> last_batch_;    // selected at the previous value
+  std::vector<Vertex> frontier_;      // reached this flood round
+  std::vector<bool> covered_;         // per-vertex, current level
+  std::vector<std::int64_t> reach_epoch_;
+};
+
+}  // namespace
 
 RulingSet compute_ruling_set(Network& net, const std::vector<Vertex>& w,
                              Dist q, std::int64_t base) {
   base = std::max<std::int64_t>(base, 2);
-  const std::int64_t start_rounds = net.stats().rounds;
   const int levels = digits_in_base(net.num_vertices(), base);
 
   RulingSet result;
   result.separation = q + 2;
   result.covering = static_cast<Dist>(levels) * (q + 1);
 
-  std::vector<Vertex> candidates = w;
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-
-  for (int level = levels - 1; level >= 0 && candidates.size() > 1; --level) {
-    std::vector<Vertex> selected;          // survivors of this level so far
-    std::vector<Vertex> last_batch;        // selected in the previous sweep step
-    std::vector<bool> covered(static_cast<std::size_t>(net.num_vertices()), false);
-
-    for (std::int64_t val = base - 1; val >= 0; --val) {
-      // Presence flood from the most recent batch; coverage accumulates.
-      const FloodResult flood = flood_presence(net, last_batch, q + 1);
-      for (Vertex v = 0; v < net.num_vertices(); ++v) {
-        if (flood.dist[static_cast<std::size_t>(v)] != kInfDist) {
-          covered[static_cast<std::size_t>(v)] = true;
-        }
-      }
-      last_batch.clear();
-      for (const Vertex v : candidates) {
-        if (digit_at(v, base, level) != val) continue;
-        if (!covered[static_cast<std::size_t>(v)]) {
-          selected.push_back(v);
-          last_batch.push_back(v);
-        }
-      }
-    }
-    std::sort(selected.begin(), selected.end());
-    candidates = std::move(selected);
-  }
-
-  result.members = std::move(candidates);
-  result.rounds_used = net.stats().rounds - start_rounds;
+  RulingSetProgram program(net.num_vertices(), w, q, base, levels);
+  const ScheduleReport report = Scheduler(net).run(program);
+  result.members = program.take_members();
+  result.rounds_used = report.rounds;
   return result;
 }
 

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 #include <map>
 #include <stdexcept>
 
 #include "congest/bfs_forest.hpp"
 #include "congest/detect.hpp"
+#include "congest/engine.hpp"
 #include "congest/ruling_set.hpp"
 
 namespace usne {
@@ -18,8 +18,11 @@ using congest::BfsForest;
 using congest::DetectResult;
 using congest::Message;
 using congest::Network;
+using congest::NodeProgram;
+using congest::Outbox;
 using congest::Received;
 using congest::RulingSet;
+using congest::Scheduler;
 using congest::Word;
 
 // Message tags used by the backtracking convergecast / notification epochs.
@@ -74,110 +77,183 @@ struct Builder {
   }
 };
 
-/// Runs the backtracking convergecast with hub splitting (Task 3 second
-/// half). Fills `next` with the new superclusters and marks joined centers.
-void backtrack_superclusters(Builder& b, const BfsForest& forest, int phase,
-                             double deg, PhaseStats& stats,
-                             std::vector<Cluster>& next) {
-  const Graph& g = *b.g;
-  const Vertex n = g.num_vertices();
-  const Dist delta = b.params->schedule.delta[static_cast<std::size_t>(phase)];
-  const Dist rul = b.params->rul[static_cast<std::size_t>(phase)];
-  const Dist depth_limit = rul + delta;
-  const std::int64_t capdeg =
-      static_cast<std::int64_t>(std::ceil(deg - 1e-9));
-  const std::int64_t factor = std::max(1, b.options.hub_threshold_factor);
-  const std::int64_t hub_threshold = factor * capdeg + 2;
-  const std::int64_t stride_rounds = factor * capdeg + 2;
+/// State shared between the two engine programs of Task 3's second half:
+/// the up-cast collection, per-origin routing, down-cast queues, and the
+/// supercluster-forming helpers.
+struct BacktrackCtx {
+  Builder& b;
+  const BfsForest& forest;
+  int phase;
+  PhaseStats& stats;
+  std::vector<Cluster>& next;
 
-  const std::vector<std::vector<Vertex>> children = forest.children();
+  Dist depth_limit = 0;
+  std::int64_t hub_threshold = 0;
+  std::int64_t stride_rounds = 0;
 
+  std::vector<std::vector<Vertex>> children;
   // Vertices bucketed by tree depth (senders of stride s have depth
   // depth_limit - s).
-  std::vector<std::vector<Vertex>> by_depth(
-      static_cast<std::size_t>(depth_limit) + 1);
-  for (Vertex v = 0; v < n; ++v) {
-    if (forest.spanned(v) && forest.depth[static_cast<std::size_t>(v)] > 0) {
-      by_depth[static_cast<std::size_t>(forest.depth[static_cast<std::size_t>(v)])]
-          .push_back(v);
-    }
-  }
-
+  std::vector<std::vector<Vertex>> by_depth;
   // Collected messages and per-origin routing (which child delivered it).
-  std::vector<std::vector<UpMsg>> collected(static_cast<std::size_t>(n));
-  std::vector<std::map<Vertex, Vertex>> route(static_cast<std::size_t>(n));
+  std::vector<std::vector<UpMsg>> collected;
+  std::vector<std::map<Vertex, Vertex>> route;
+  // Down-notification queues: per (node, neighbour) pipelines.
+  congest::PipelinedQueues<Message> down;
 
-  // Seed: every spanned center holds its own message.
-  for (Vertex v = 0; v < n; ++v) {
-    if (forest.spanned(v) && b.is_center(v)) {
-      collected[static_cast<std::size_t>(v)].push_back(
-          {v, forest.depth[static_cast<std::size_t>(v)]});
+  BacktrackCtx(Builder& builder, const BfsForest& f, int ph, double deg,
+               PhaseStats& st, std::vector<Cluster>& nxt)
+      : b(builder), forest(f), phase(ph), stats(st), next(nxt) {
+    const Graph& g = *b.g;
+    const Vertex n = g.num_vertices();
+    const Dist delta = b.params->schedule.delta[static_cast<std::size_t>(ph)];
+    const Dist rul = b.params->rul[static_cast<std::size_t>(ph)];
+    depth_limit = rul + delta;
+    const std::int64_t capdeg =
+        static_cast<std::int64_t>(std::ceil(deg - 1e-9));
+    const std::int64_t factor = std::max(1, b.options.hub_threshold_factor);
+    hub_threshold = factor * capdeg + 2;
+    stride_rounds = factor * capdeg + 2;
+
+    children = forest.children();
+    by_depth.resize(static_cast<std::size_t>(depth_limit) + 1);
+    for (Vertex v = 0; v < n; ++v) {
+      if (forest.spanned(v) && forest.depth[static_cast<std::size_t>(v)] > 0) {
+        by_depth[static_cast<std::size_t>(
+                     forest.depth[static_cast<std::size_t>(v)])]
+            .push_back(v);
+      }
+    }
+    collected.resize(static_cast<std::size_t>(n));
+    route.resize(static_cast<std::size_t>(n));
+    down.resize(n);
+    // Seed: every spanned center holds its own message.
+    for (Vertex v = 0; v < n; ++v) {
+      if (forest.spanned(v) && b.is_center(v)) {
+        collected[static_cast<std::size_t>(v)].push_back(
+            {v, forest.depth[static_cast<std::size_t>(v)]});
+      }
     }
   }
 
-  // New superclusters discovered during the strides; center -> index.
-  auto new_super = [&](Vertex center) -> Cluster& {
+  void enqueue_down(Vertex from, Vertex to, const Message& m) {
+    down.push(from, to, m);
+  }
+
+  Cluster& new_super(Vertex center) {
     Cluster c;
     c.center = center;
     next.push_back(std::move(c));
     return next.back();
-  };
-  auto join = [&](Cluster& super, Vertex origin) {
+  }
+
+  void join(Cluster& super, Vertex origin) {
     const Cluster& cl = b.current[static_cast<std::size_t>(
         b.cluster_of[static_cast<std::size_t>(origin)])];
     super.members.insert(super.members.end(), cl.members.begin(),
                          cl.members.end());
     b.superclustered[static_cast<std::size_t>(origin)] = true;
-  };
+  }
+};
 
-  // Down-notification queues: per (node, neighbour) pipelines.
-  std::vector<std::deque<std::pair<Vertex, Message>>> down(
-      static_cast<std::size_t>(n));
-  std::int64_t queued = 0;
-  auto enqueue_down = [&](Vertex from, Vertex to, const Message& m) {
-    down[static_cast<std::size_t>(from)].push_back({to, m});
-    ++queued;
-  };
+/// The backtracking convergecast (Task 3 second half, up direction) as a
+/// NodeProgram: depth_limit strides of stride_rounds rounds. At each stride
+/// boundary the next depth layer makes its hub decisions centrally (a hub
+/// splits and forms superclusters on the spot); within a stride the
+/// surviving senders pipeline one collected <origin, depth> message per
+/// round toward their parents.
+class BacktrackProgram final : public NodeProgram {
+ public:
+  explicit BacktrackProgram(BacktrackCtx& ctx)
+      : ctx_(ctx), total_rounds_(ctx.depth_limit * ctx.stride_rounds) {}
 
-  // ---- Strides ----
-  for (Dist s = 0; s < depth_limit; ++s) {
-    const Dist sender_depth = depth_limit - s;
-    const auto& senders = by_depth[static_cast<std::size_t>(sender_depth)];
+  void init(Outbox& out) override {
+    if (total_rounds_ == 0) return;
+    hub_decide(0);
+    send_entries(0, out);
+  }
 
-    // Hub decisions happen at send time.
-    std::vector<std::pair<Vertex, std::vector<UpMsg>>> to_send;
+  void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
+                Outbox&) override {
+    for (const Received& r : inbox) {
+      if (r.msg.words[0] != kUp) continue;
+      const Vertex origin = static_cast<Vertex>(r.msg.words[1]);
+      ctx_.collected[static_cast<std::size_t>(v)].push_back(
+          {origin, r.msg.words[2]});
+      ctx_.route[static_cast<std::size_t>(v)][origin] = r.from;
+    }
+  }
+
+  void end_round(std::int64_t round, Outbox& out) override {
+    if (round + 1 >= total_rounds_) return;
+    const std::int64_t t = round % ctx_.stride_rounds;
+    if (t == ctx_.stride_rounds - 1) {
+      hub_decide(round / ctx_.stride_rounds + 1);
+      send_entries(0, out);
+    } else {
+      send_entries(t + 1, out);
+    }
+  }
+
+  bool done(std::int64_t next_round) const override {
+    return next_round >= total_rounds_;
+  }
+
+ private:
+  void send_entries(std::int64_t t, Outbox& out) {
+    for (const auto& [v, msgs] : to_send_) {
+      if (static_cast<std::int64_t>(msgs.size()) > t) {
+        const UpMsg& um = msgs[static_cast<std::size_t>(t)];
+        out.send(v, ctx_.forest.parent[static_cast<std::size_t>(v)],
+                 Message::of(kUp, um.origin, um.origin_depth));
+      }
+    }
+  }
+
+  /// Hub decisions for stride `s` happen at send time: a sender holding >=
+  /// hub_threshold messages splits from its tree and forms superclusters
+  /// locally instead of forwarding.
+  void hub_decide(Dist s) {
+    BacktrackCtx& c = ctx_;
+    Builder& b = c.b;
+    const Dist sender_depth = c.depth_limit - s;
+    const auto& senders = c.by_depth[static_cast<std::size_t>(sender_depth)];
+
+    to_send_.clear();
     for (const Vertex v : senders) {
-      auto& m = collected[static_cast<std::size_t>(v)];
+      auto& m = c.collected[static_cast<std::size_t>(v)];
       if (m.empty()) continue;
-      if (static_cast<std::int64_t>(m.size()) < hub_threshold) {
-        to_send.emplace_back(v, std::move(m));
+      if (static_cast<std::int64_t>(m.size()) < c.hub_threshold) {
+        to_send_.emplace_back(v, std::move(m));
         m.clear();
         continue;
       }
 
       // --- v is a hub. ---
-      ++stats.hub_events;
-      const Dist dv = forest.depth[static_cast<std::size_t>(v)];
+      ++c.stats.hub_events;
+      const Dist dv = c.forest.depth[static_cast<std::size_t>(v)];
       if (b.is_center(v)) {
         // v forms a single supercluster around itself.
-        Cluster& super = new_super(v);
-        join(super, v);
+        Cluster& super = c.new_super(v);
+        c.join(super, v);
         for (const UpMsg& um : m) {
           if (um.origin == v) continue;
           const Dist w = um.origin_depth - dv;
-          b.log_edge(v, um.origin, w, phase, EdgeKind::kSupercluster, um.origin);
-          ++stats.supercluster_edges;
+          b.log_edge(v, um.origin, w, c.phase, EdgeKind::kSupercluster,
+                     um.origin);
+          ++c.stats.supercluster_edges;
           b.learn_local(v, um.origin, w);
-          join(super, um.origin);
-          enqueue_down(v, route[static_cast<std::size_t>(v)][um.origin],
-                       Message::of(kNotify, um.origin, v, w));
+          c.join(super, um.origin);
+          c.enqueue_down(v, c.route[static_cast<std::size_t>(v)][um.origin],
+                         Message::of(kNotify, um.origin, v, w));
         }
       } else {
         // Partition children greedily into groups of message count in
         // [2deg+2, 6deg+6]; one supercluster per group.
         std::map<Vertex, std::vector<UpMsg>> per_child;
         for (const UpMsg& um : m) {
-          per_child[route[static_cast<std::size_t>(v)][um.origin]].push_back(um);
+          per_child[c.route[static_cast<std::size_t>(v)][um.origin]].push_back(
+              um);
         }
         std::vector<std::vector<Vertex>> groups;  // children per group
         std::vector<std::int64_t> group_count;
@@ -186,161 +262,176 @@ void backtrack_superclusters(Builder& b, const BfsForest& forest, int phase,
         for (const auto& [child, msgs] : per_child) {
           groups.back().push_back(child);
           group_count.back() += static_cast<std::int64_t>(msgs.size());
-          if (group_count.back() >= hub_threshold) {
+          if (group_count.back() >= c.hub_threshold) {
             groups.emplace_back();
             group_count.push_back(0);
           }
         }
-        if (group_count.back() < hub_threshold && groups.size() > 1) {
+        if (group_count.back() < c.hub_threshold && groups.size() > 1) {
           // Merge the underfull tail group into its predecessor.
           auto tail = std::move(groups.back());
           groups.pop_back();
           group_count[groups.size() - 1] += group_count.back();
           group_count.pop_back();
-          for (const Vertex c : tail) groups.back().push_back(c);
+          for (const Vertex child : tail) groups.back().push_back(child);
         }
         for (const auto& group : groups) {
           // Z_j: origins delivered via this group's children.
           std::vector<UpMsg> z;
-          for (const Vertex c : group) {
-            const auto& msgs = per_child[c];
+          for (const Vertex child : group) {
+            const auto& msgs = per_child[child];
             z.insert(z.end(), msgs.begin(), msgs.end());
           }
           if (z.empty()) continue;
           const Vertex r =
-              std::min_element(z.begin(), z.end(), [](const UpMsg& a, const UpMsg& x) {
-                return a.origin < x.origin;
-              })->origin;
+              std::min_element(z.begin(), z.end(),
+                               [](const UpMsg& a, const UpMsg& x) {
+                                 return a.origin < x.origin;
+                               })
+                  ->origin;
           Dist r_depth = 0;
           for (const UpMsg& um : z) {
             if (um.origin == r) r_depth = um.origin_depth;
           }
-          Cluster& super = new_super(r);
+          Cluster& super = c.new_super(r);
           for (const UpMsg& um : z) {
-            join(super, um.origin);
+            c.join(super, um.origin);
             if (um.origin == r) continue;
             const Dist w = (um.origin_depth - dv) + (r_depth - dv);
-            b.log_edge(r, um.origin, w, phase, EdgeKind::kSupercluster, um.origin);
-            ++stats.supercluster_edges;
+            b.log_edge(r, um.origin, w, c.phase, EdgeKind::kSupercluster,
+                       um.origin);
+            ++c.stats.supercluster_edges;
           }
           // Broadcast <center, origin, weight> down the group's subtrees;
           // every member of Z_j (including r) learns its part.
-          for (const Vertex c : group) {
+          for (const Vertex child : group) {
             for (const UpMsg& um : z) {
               if (um.origin == r) continue;
               const Dist w = (um.origin_depth - dv) + (r_depth - dv);
-              enqueue_down(v, c, Message::of(kGroupEdge, r, um.origin, w));
+              c.enqueue_down(v, child, Message::of(kGroupEdge, r, um.origin, w));
             }
           }
         }
       }
       m.clear();
     }
+  }
 
-    // Transmit: stride_rounds rounds, one pending message per round.
-    for (std::int64_t t = 0; t < stride_rounds; ++t) {
-      for (const auto& [v, msgs] : to_send) {
-        if (static_cast<std::int64_t>(msgs.size()) > t) {
-          const UpMsg& um = msgs[static_cast<std::size_t>(t)];
-          b.net.send(v, forest.parent[static_cast<std::size_t>(v)],
-                     Message::of(kUp, um.origin, um.origin_depth));
+  BacktrackCtx& ctx_;
+  std::int64_t total_rounds_ = 0;
+  std::vector<std::pair<Vertex, std::vector<UpMsg>>> to_send_;
+};
+
+/// The notification epoch (Task 3 down direction) as a NodeProgram: routed
+/// kNotify messages retrace the convergecast routes to their origins and
+/// kGroupEdge broadcasts flood whole subtrees, all pipelined one message
+/// per edge per round. The schedule is fixed (depth_limit + 4*factor*capdeg
+/// + 16 rounds) but ends early once every queue has drained.
+class NotifyProgram final : public NodeProgram {
+ public:
+  NotifyProgram(BacktrackCtx& ctx, std::int64_t epoch)
+      : ctx_(ctx), epoch_(epoch) {}
+
+  void init(Outbox& out) override { send_phase(out); }
+
+  void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
+                Outbox&) override {
+    BacktrackCtx& c = ctx_;
+    for (const Received& r : inbox) {
+      const Word tag = r.msg.words[0];
+      if (tag == kNotify) {
+        const Vertex origin = static_cast<Vertex>(r.msg.words[1]);
+        const Vertex center = static_cast<Vertex>(r.msg.words[2]);
+        const Dist w = r.msg.words[3];
+        if (origin == v) {
+          c.b.learn_local(v, center, w);
+        } else {
+          c.enqueue_down(v, c.route[static_cast<std::size_t>(v)][origin],
+                         r.msg);
         }
-      }
-      b.net.advance_round();
-      for (const Vertex v : b.net.delivered_to()) {
-        for (const Received& r : b.net.inbox(v)) {
-          if (r.msg.words[0] != kUp) continue;
-          const Vertex origin = static_cast<Vertex>(r.msg.words[1]);
-          collected[static_cast<std::size_t>(v)].push_back(
-              {origin, r.msg.words[2]});
-          route[static_cast<std::size_t>(v)][origin] = r.from;
+      } else if (tag == kGroupEdge) {
+        const Vertex center = static_cast<Vertex>(r.msg.words[1]);
+        const Vertex origin = static_cast<Vertex>(r.msg.words[2]);
+        const Dist w = r.msg.words[3];
+        if (v == center) c.b.learn_local(v, origin, w);
+        if (v == origin) c.b.learn_local(v, center, w);
+        for (const Vertex child : c.children[static_cast<std::size_t>(v)]) {
+          c.enqueue_down(v, child, r.msg);
         }
       }
     }
   }
 
+  void end_round(std::int64_t round, Outbox& out) override {
+    if ((!any_sent_ && ctx_.down.queued() == 0) || round + 1 >= epoch_) {
+      finished_ = true;
+      return;
+    }
+    send_phase(out);
+  }
+
+  bool done(std::int64_t) const override { return finished_; }
+
+ private:
+  void send_phase(Outbox& out) {
+    any_sent_ = ctx_.down.drain_round(
+        [&](Vertex from, Vertex to, const Message& msg) {
+          out.send(from, to, msg);
+        });
+  }
+
+  BacktrackCtx& ctx_;
+  std::int64_t epoch_;
+  bool any_sent_ = false;
+  bool finished_ = false;
+};
+
+/// Runs the backtracking convergecast with hub splitting (Task 3 second
+/// half) through the engine. Fills `next` with the new superclusters and
+/// marks joined centers.
+void backtrack_superclusters(Builder& b, const BfsForest& forest, int phase,
+                             double deg, PhaseStats& stats,
+                             std::vector<Cluster>& next) {
+  BacktrackCtx ctx(b, forest, phase, deg, stats, next);
+  Scheduler scheduler(b.net);
+
+  // ---- Strides (up-cast) ----
+  BacktrackProgram up(ctx);
+  scheduler.run(up);
+
   // ---- Root consumption ----
+  const Vertex n = b.g->num_vertices();
   for (Vertex v = 0; v < n; ++v) {
     if (!forest.spanned(v) || forest.depth[static_cast<std::size_t>(v)] != 0) {
       continue;
     }
-    auto& m = collected[static_cast<std::size_t>(v)];
+    auto& m = ctx.collected[static_cast<std::size_t>(v)];
     // The root is popular (ruling set member), so it always forms its
     // supercluster, even if every neighbour was consumed by hubs.
-    Cluster& super = new_super(v);
-    if (b.is_center(v)) join(super, v);
+    Cluster& super = ctx.new_super(v);
+    if (b.is_center(v)) ctx.join(super, v);
     for (const UpMsg& um : m) {
       if (um.origin == v) continue;
       const Dist w = um.origin_depth;  // root depth is 0; exact BFS distance
       b.log_edge(v, um.origin, w, phase, EdgeKind::kSupercluster, um.origin);
       ++stats.supercluster_edges;
       b.learn_local(v, um.origin, w);
-      join(super, um.origin);
-      enqueue_down(v, route[static_cast<std::size_t>(v)][um.origin],
-                   Message::of(kNotify, um.origin, v, w));
+      ctx.join(super, um.origin);
+      ctx.enqueue_down(v, ctx.route[static_cast<std::size_t>(v)][um.origin],
+                       Message::of(kNotify, um.origin, v, w));
     }
     m.clear();
   }
 
-  // ---- Notification epoch ----
-  // Routed notifies and group broadcasts flow down; pipelined one message
-  // per edge per round. Fixed schedule: depth_limit + 8*capdeg + 16 rounds.
-  const std::int64_t epoch = depth_limit + 4 * factor * capdeg + 16;
-  for (std::int64_t t = 0; t < epoch; ++t) {
-    bool any = false;
-    for (Vertex v = 0; v < n; ++v) {
-      auto& queue = down[static_cast<std::size_t>(v)];
-      if (queue.empty()) continue;
-      // Send at most one message per distinct neighbour this round.
-      std::vector<std::pair<Vertex, Message>> deferred;
-      std::vector<Vertex> used;
-      while (!queue.empty()) {
-        auto [to, msg] = queue.front();
-        queue.pop_front();
-        --queued;
-        if (std::find(used.begin(), used.end(), to) != used.end()) {
-          deferred.emplace_back(to, msg);
-          ++queued;
-          continue;
-        }
-        used.push_back(to);
-        b.net.send(v, to, msg);
-        any = true;
-      }
-      for (auto& d : deferred) queue.push_back(std::move(d));
-    }
-    b.net.advance_round();
-    for (const Vertex v : b.net.delivered_to()) {
-      for (const Received& r : b.net.inbox(v)) {
-        const Word tag = r.msg.words[0];
-        if (tag == kNotify) {
-          const Vertex origin = static_cast<Vertex>(r.msg.words[1]);
-          const Vertex center = static_cast<Vertex>(r.msg.words[2]);
-          const Dist w = r.msg.words[3];
-          if (origin == v) {
-            b.learn_local(v, center, w);
-          } else {
-            enqueue_down(v, route[static_cast<std::size_t>(v)][origin], r.msg);
-          }
-        } else if (tag == kGroupEdge) {
-          const Vertex center = static_cast<Vertex>(r.msg.words[1]);
-          const Vertex origin = static_cast<Vertex>(r.msg.words[2]);
-          const Dist w = r.msg.words[3];
-          if (v == center) b.learn_local(v, origin, w);
-          if (v == origin) b.learn_local(v, center, w);
-          for (const Vertex c : children[static_cast<std::size_t>(v)]) {
-            enqueue_down(v, c, r.msg);
-          }
-        }
-      }
-    }
-    if (!any && queued == 0) break;  // fully drained
-  }
+  // ---- Notification epoch (down-cast) ----
+  const std::int64_t capdeg = static_cast<std::int64_t>(std::ceil(deg - 1e-9));
+  const std::int64_t factor = std::max(1, b.options.hub_threshold_factor);
+  const std::int64_t epoch = ctx.depth_limit + 4 * factor * capdeg + 16;
+  NotifyProgram down(ctx, epoch);
+  scheduler.run(down);
+
   // Drain check: all queues must be empty within the fixed epoch.
-  for (Vertex v = 0; v < n; ++v) {
-    assert(down[static_cast<std::size_t>(v)].empty());
-    (void)v;
-  }
+  assert(ctx.down.queued() == 0);
 }
 
 }  // namespace

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "congest/bfs_forest.hpp"
 #include "congest/detect.hpp"
+#include "congest/engine.hpp"
 #include "congest/ruling_set.hpp"
 
 namespace usne {
@@ -18,151 +18,203 @@ using congest::BfsForest;
 using congest::DetectResult;
 using congest::Message;
 using congest::Network;
+using congest::NodeProgram;
+using congest::Outbox;
 using congest::Received;
 using congest::RulingSet;
+using congest::Scheduler;
 using congest::Word;
 
 constexpr Word kJoinMark = 20;  // <kJoinMark>            up the forest
 constexpr Word kPathMark = 21;  // <kPathMark, source>    along pred chains
 
-/// Superclustering mark-up-cast: every spanned center holds a mark; marks
-/// propagate one hop per round toward the roots with per-vertex dedup, so
-/// each tree edge carries at most one kJoinMark ever. Every vertex that
-/// held a mark adds its parent edge. Runs exactly `depth_limit` rounds.
-void markupcast(Network& net, const BfsForest& forest,
-                const std::vector<bool>& is_center, Dist depth_limit,
-                WeightedGraph& h, std::vector<ChargedEdge>* log, int phase,
-                std::int64_t& edge_counter) {
-  const Vertex n = net.num_vertices();
-  std::vector<bool> marked(static_cast<std::size_t>(n), false);
-  std::vector<Vertex> fresh;  // marked this round, send next round
-  for (Vertex v = 0; v < n; ++v) {
-    if (forest.spanned(v) && is_center[static_cast<std::size_t>(v)] &&
-        forest.depth[static_cast<std::size_t>(v)] > 0) {
-      marked[static_cast<std::size_t>(v)] = true;
-      fresh.push_back(v);
-    }
-  }
-  auto add_parent_edge = [&](Vertex v) {
-    const Vertex p = forest.parent[static_cast<std::size_t>(v)];
-    if (p == -1) return;
-    h.add_edge(v, p, 1);
-    ++edge_counter;
-    if (log) {
-      log->push_back({std::min(v, p), std::max(v, p), 1, phase,
-                      EdgeKind::kSupercluster, v});
-    }
-  };
-  for (const Vertex v : fresh) add_parent_edge(v);
-
-  for (Dist round = 0; round < depth_limit; ++round) {
-    for (const Vertex v : fresh) {
-      const Vertex p = forest.parent[static_cast<std::size_t>(v)];
-      if (p != -1) net.send(v, p, Message::of(kJoinMark));
-    }
-    net.advance_round();
-    fresh.clear();
-    for (const Vertex v : net.delivered_to()) {
-      if (marked[static_cast<std::size_t>(v)]) continue;
-      bool got_mark = false;
-      for (const Received& r : net.inbox(v)) {
-        got_mark |= (r.msg.words[0] == kJoinMark);
-      }
-      if (got_mark && forest.spanned(v) &&
+/// Superclustering mark-up-cast as a NodeProgram: every spanned center
+/// holds a mark; marks propagate one hop per round toward the roots with
+/// per-vertex dedup, so each tree edge carries at most one kJoinMark ever.
+/// Every vertex that held a mark adds its parent edge. Runs exactly
+/// `depth_limit` rounds.
+class MarkUpcastProgram final : public NodeProgram {
+ public:
+  MarkUpcastProgram(Vertex n, const BfsForest& forest,
+                    const std::vector<bool>& is_center, Dist depth_limit,
+                    WeightedGraph& h, std::vector<ChargedEdge>* log, int phase,
+                    std::int64_t& edge_counter)
+      : forest_(forest),
+        depth_limit_(depth_limit),
+        h_(h),
+        log_(log),
+        phase_(phase),
+        edge_counter_(edge_counter) {
+    marked_.assign(static_cast<std::size_t>(n), false);
+    for (Vertex v = 0; v < n; ++v) {
+      if (forest.spanned(v) && is_center[static_cast<std::size_t>(v)] &&
           forest.depth[static_cast<std::size_t>(v)] > 0) {
-        marked[static_cast<std::size_t>(v)] = true;
-        add_parent_edge(v);
-        fresh.push_back(v);
+        marked_[static_cast<std::size_t>(v)] = true;
+        fresh_.push_back(v);
+      }
+    }
+    for (const Vertex v : fresh_) add_parent_edge(v);
+  }
+
+  void init(Outbox& out) override {
+    if (depth_limit_ > 0) send_marks(out);
+    fresh_.clear();
+  }
+
+  void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
+                Outbox&) override {
+    if (marked_[static_cast<std::size_t>(v)]) return;
+    bool got_mark = false;
+    for (const Received& r : inbox) {
+      got_mark |= (r.msg.words[0] == kJoinMark);
+    }
+    if (got_mark && forest_.spanned(v) &&
+        forest_.depth[static_cast<std::size_t>(v)] > 0) {
+      marked_[static_cast<std::size_t>(v)] = true;
+      add_parent_edge(v);
+      fresh_.push_back(v);
+    }
+  }
+
+  void end_round(std::int64_t round, Outbox& out) override {
+    if (round + 1 < depth_limit_) send_marks(out);
+    fresh_.clear();
+  }
+
+  bool done(std::int64_t next_round) const override {
+    return next_round >= depth_limit_;
+  }
+
+ private:
+  void send_marks(Outbox& out) {
+    for (const Vertex v : fresh_) {
+      const Vertex p = forest_.parent[static_cast<std::size_t>(v)];
+      if (p != -1) out.send(v, p, Message::of(kJoinMark));
+    }
+  }
+
+  void add_parent_edge(Vertex v) {
+    const Vertex p = forest_.parent[static_cast<std::size_t>(v)];
+    if (p == -1) return;
+    h_.add_edge(v, p, 1);
+    ++edge_counter_;
+    if (log_) {
+      log_->push_back({std::min(v, p), std::max(v, p), 1, phase_,
+                       EdgeKind::kSupercluster, v});
+    }
+  }
+
+  const BfsForest& forest_;
+  Dist depth_limit_;
+  WeightedGraph& h_;
+  std::vector<ChargedEdge>* log_;
+  int phase_;
+  std::int64_t& edge_counter_;
+  std::vector<bool> marked_;
+  std::vector<Vertex> fresh_;  // marked this round, send next round
+};
+
+/// Interconnection path-marking as a NodeProgram: every U_i center sends
+/// one kPathMark per neighbouring center along the Algorithm 2 predecessor
+/// chain; relays add the edge toward their predecessor and forward. Marks
+/// are pipelined one message per edge per round and the program runs until
+/// drained (a hard ceiling guards against logic errors only).
+class PathMarksProgram final : public NodeProgram {
+ public:
+  PathMarksProgram(Vertex n, const DetectResult& det,
+                   const std::vector<Vertex>& u_centers, Dist delta,
+                   std::int64_t cap, WeightedGraph& h,
+                   std::vector<ChargedEdge>* log, int phase,
+                   std::int64_t& edge_counter)
+      : det_(det),
+        h_(h),
+        log_(log),
+        phase_(phase),
+        edge_counter_(edge_counter),
+        hard_ceiling_((delta + 2) * (cap + 2) * 16 +
+                      static_cast<std::int64_t>(n) + 1024),
+        queue_(n) {
+    for (const Vertex c : u_centers) {
+      for (const SourceHit& hit : det.hits[static_cast<std::size_t>(c)]) {
+        if (hit.source == c) continue;
+        enqueue(c, hit.source, c);
       }
     }
   }
-}
 
-/// Interconnection path-marking: every U_i center sends one kPathMark per
-/// neighbouring center along the Algorithm 2 predecessor chain; relays add
-/// the edge toward their predecessor and forward. Pipelined one message per
-/// edge per round; runs until drained (bounded by delta * cap + slack).
-void path_marks(Network& net, const DetectResult& det,
-                const std::vector<Vertex>& u_centers, Dist delta,
-                std::int64_t cap, WeightedGraph& h,
-                std::vector<ChargedEdge>* log, int phase,
-                std::int64_t& edge_counter) {
-  const Vertex n = net.num_vertices();
-  // Per-vertex queue of (next_hop, source) marks to forward.
-  std::vector<std::deque<std::pair<Vertex, Vertex>>> queue(
-      static_cast<std::size_t>(n));
-  std::int64_t queued = 0;
-  // Marks already forwarded from a vertex: re-forwarding the same source is
-  // redundant (the downstream chain is already marked).
-  std::unordered_set<std::uint64_t> forwarded;
-  const auto key = [](Vertex v, Vertex src) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
-           static_cast<std::uint32_t>(src);
-  };
-
-  auto enqueue = [&](Vertex at, Vertex source, Vertex charged) {
-    if (!forwarded.insert(key(at, source)).second) return;  // already done
-    // The hop toward `source` is this vertex's recorded predecessor.
-    const auto& hits = det.hits[static_cast<std::size_t>(at)];
-    const auto it = std::find_if(hits.begin(), hits.end(), [&](const SourceHit& s) {
-      return s.source == source;
-    });
-    if (it == hits.end() || it->pred == -1) return;  // arrived (or untraceable)
-    h.add_edge(at, it->pred, 1);
-    ++edge_counter;
-    if (log) {
-      log->push_back({std::min(at, it->pred), std::max(at, it->pred), 1, phase,
-                      EdgeKind::kSpannerPath, charged});
+  void init(Outbox& out) override {
+    if (queue_.queued() == 0) {
+      finished_ = true;
+      return;
     }
-    queue[static_cast<std::size_t>(at)].push_back({it->pred, source});
-    ++queued;
-  };
+    send_phase(out);
+  }
 
-  for (const Vertex c : u_centers) {
-    for (const SourceHit& hit : det.hits[static_cast<std::size_t>(c)]) {
-      if (hit.source == c) continue;
-      enqueue(c, hit.source, c);
+  void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
+                Outbox&) override {
+    for (const Received& r : inbox) {
+      if (r.msg.words[0] != kPathMark) continue;
+      const Vertex source = static_cast<Vertex>(r.msg.words[1]);
+      if (v == source) continue;  // mark arrived
+      enqueue(v, source, source);
     }
   }
 
-  // Drain fully; the hard ceiling only guards against a logic error (every
-  // mark travels <= delta hops and per-vertex dedup bounds total traffic).
-  const std::int64_t hard_ceiling =
-      (delta + 2) * (cap + 2) * 16 + static_cast<std::int64_t>(n) + 1024;
-  for (std::int64_t t = 0; queued > 0; ++t) {
-    if (t > hard_ceiling) {
+  void end_round(std::int64_t round, Outbox& out) override {
+    if (queue_.queued() == 0) {
+      finished_ = true;
+      return;
+    }
+    if (round + 1 > hard_ceiling_) {
       throw std::logic_error("path_marks failed to drain within its ceiling");
     }
-    for (Vertex v = 0; v < n; ++v) {
-      auto& q = queue[static_cast<std::size_t>(v)];
-      if (q.empty()) continue;
-      std::vector<std::pair<Vertex, Vertex>> deferred;
-      std::vector<Vertex> used;
-      while (!q.empty()) {
-        const auto [to, source] = q.front();
-        q.pop_front();
-        if (std::find(used.begin(), used.end(), to) != used.end()) {
-          deferred.push_back({to, source});
-          continue;
-        }
-        used.push_back(to);
-        --queued;
-        net.send(v, to, Message::of(kPathMark, source));
-      }
-      for (const auto& d : deferred) q.push_back(d);
-    }
-    net.advance_round();
-    for (const Vertex v : net.delivered_to()) {
-      for (const Received& r : net.inbox(v)) {
-        if (r.msg.words[0] != kPathMark) continue;
-        const Vertex source = static_cast<Vertex>(r.msg.words[1]);
-        if (v == source) continue;  // mark arrived
-        enqueue(v, source, source);
-      }
-    }
+    send_phase(out);
   }
-  assert(queued == 0);
-}
+
+  bool done(std::int64_t) const override { return finished_; }
+
+ private:
+  void enqueue(Vertex at, Vertex source, Vertex charged) {
+    // Re-forwarding the same source from the same vertex is redundant (the
+    // downstream chain is already marked).
+    if (!forwarded_.insert(key(at, source)).second) return;
+    // The hop toward `source` is this vertex's recorded predecessor.
+    const auto& hits = det_.hits[static_cast<std::size_t>(at)];
+    const auto it =
+        std::find_if(hits.begin(), hits.end(),
+                     [&](const SourceHit& s) { return s.source == source; });
+    if (it == hits.end() || it->pred == -1) return;  // arrived (or untraceable)
+    h_.add_edge(at, it->pred, 1);
+    ++edge_counter_;
+    if (log_) {
+      log_->push_back({std::min(at, it->pred), std::max(at, it->pred), 1,
+                       phase_, EdgeKind::kSpannerPath, charged});
+    }
+    queue_.push(at, it->pred, source);
+  }
+
+  void send_phase(Outbox& out) {
+    queue_.drain_round([&](Vertex from, Vertex to, Vertex source) {
+      out.send(from, to, Message::of(kPathMark, source));
+    });
+  }
+
+  static std::uint64_t key(Vertex v, Vertex src) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+           static_cast<std::uint32_t>(src);
+  }
+
+  const DetectResult& det_;
+  WeightedGraph& h_;
+  std::vector<ChargedEdge>* log_;
+  int phase_;
+  std::int64_t& edge_counter_;
+  std::int64_t hard_ceiling_;
+  // Per-vertex queues of (next_hop, source) marks to forward.
+  congest::PipelinedQueues<Vertex> queue_;
+  std::unordered_set<std::uint64_t> forwarded_;
+  bool finished_ = false;
+};
 
 DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
                                     const PhaseSchedule& sched,
@@ -181,6 +233,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
   out.base.u_center.assign(static_cast<std::size_t>(n), -1);
 
   Network net(g);
+  Scheduler scheduler(net);
   std::vector<Cluster> current = singleton_partition(n);
   if (keep_audit_data) out.base.partitions.push_back(current);
   std::vector<std::int32_t> cluster_of(static_cast<std::size_t>(n), -1);
@@ -234,9 +287,11 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
       stats.rounds_forest = net.stats().rounds - mark;
 
       mark = net.stats().rounds;
-      markupcast(net, forest, is_center, rul_i + delta_i, out.base.h,
-                 keep_audit_data ? &out.base.edge_log : nullptr, i,
-                 stats.supercluster_edges);
+      MarkUpcastProgram upcast(n, forest, is_center, rul_i + delta_i,
+                               out.base.h,
+                               keep_audit_data ? &out.base.edge_log : nullptr,
+                               i, stats.supercluster_edges);
+      scheduler.run(upcast);
       stats.rounds_backtrack = net.stats().rounds - mark;
 
       // Supercluster membership (audit bookkeeping; one per tree).
@@ -275,9 +330,10 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
       }
     }
     mark = net.stats().rounds;
-    path_marks(net, det, u_centers, delta_i, cap, out.base.h,
-               keep_audit_data ? &out.base.edge_log : nullptr, i,
-               stats.interconnect_edges);
+    PathMarksProgram marks(n, det, u_centers, delta_i, cap, out.base.h,
+                           keep_audit_data ? &out.base.edge_log : nullptr, i,
+                           stats.interconnect_edges);
+    scheduler.run(marks);
     stats.rounds_interconnect = net.stats().rounds - mark;
 
     for (const Vertex c : centers) {

@@ -1,0 +1,253 @@
+// Tests for the CONGEST engine v2: flat-arena delivery equivalence against
+// a naive per-vertex-queue reference model, allocation-free round
+// advancement after warm-up, cap enforcement through the Scheduler, and
+// engine-level idle-round accounting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "congest/engine.hpp"
+#include "congest/flood.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+
+// --- global allocation counter (this test binary only) ---------------------
+// Used by the zero-allocation steady-state test; counting is cheap enough to
+// leave on for the whole binary.
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace usne::congest {
+namespace {
+
+// --- arena delivery vs. naive reference model ------------------------------
+
+TEST(NetworkArena, EquivalentToNaiveQueueModel) {
+  const Graph g = gen_gnm(60, 180, 7);
+  Network net(g);
+  std::mt19937 rng(42);
+
+  NetworkStats expected;
+  for (int round = 0; round < 60; ++round) {
+    // Random traffic: a subset of directed edges, one message each.
+    std::map<Vertex, std::vector<Received>> reference;
+    std::set<std::pair<Vertex, Vertex>> sent;
+    for (int k = 0; k < 40; ++k) {
+      const Vertex u = static_cast<Vertex>(rng() % 60);
+      const auto nbrs = g.neighbors(u);
+      if (nbrs.empty()) continue;
+      const Vertex v = nbrs[rng() % nbrs.size()];
+      if (!sent.insert({u, v}).second) continue;  // respect the edge cap
+      const Message m = Message::of(static_cast<Word>(rng() % 1000), u);
+      net.send(u, v, m);
+      reference[v].push_back({u, m});
+      ++expected.messages;
+      expected.words += 2;
+    }
+    net.advance_round();
+    ++expected.rounds;
+
+    // delivered_to: exactly the receivers, ascending.
+    std::vector<Vertex> receivers;
+    for (const auto& [v, msgs] : reference) receivers.push_back(v);
+    ASSERT_EQ(net.delivered_to(), receivers);
+
+    // Per-vertex inboxes: same multiset, sorted by sender.
+    for (Vertex v = 0; v < 60; ++v) {
+      auto it = reference.find(v);
+      if (it == reference.end()) {
+        EXPECT_TRUE(net.inbox(v).empty());
+        continue;
+      }
+      auto& expected_box = it->second;
+      std::sort(expected_box.begin(), expected_box.end(),
+                [](const Received& a, const Received& b) {
+                  return a.from < b.from;
+                });
+      const auto box = net.inbox(v);
+      ASSERT_EQ(box.size(), expected_box.size());
+      for (std::size_t i = 0; i < box.size(); ++i) {
+        EXPECT_EQ(box[i].from, expected_box[i].from);
+        EXPECT_EQ(box[i].msg.size, expected_box[i].msg.size);
+        for (int w = 0; w < box[i].msg.size; ++w) {
+          EXPECT_EQ(box[i].msg.words[w], expected_box[i].msg.words[w]);
+        }
+      }
+    }
+
+    EXPECT_EQ(net.stats().rounds, expected.rounds);
+    EXPECT_EQ(net.stats().messages, expected.messages);
+    EXPECT_EQ(net.stats().words, expected.words);
+  }
+}
+
+TEST(NetworkArena, ViolationsStillEnforced) {
+  const Graph g = gen_path(3);
+  Network net(g);
+  net.send(0, 1, Message::of(1));
+  EXPECT_THROW(net.send(0, 1, Message::of(2)), CongestViolation);
+  Message oversized;
+  oversized.size = kMaxWords + 1;
+  EXPECT_THROW(net.send(1, 2, oversized), CongestViolation);
+  EXPECT_THROW(net.send(0, 2, Message::of(1)), CongestViolation);
+  net.advance_round();
+  EXPECT_NO_THROW(net.send(0, 1, Message::of(3)));
+}
+
+TEST(NetworkArena, ZeroAllocationSteadyState) {
+  const Graph g = gen_gnm(100, 300, 11);
+  Network net(g);
+
+  // Warm-up: drive the maximum traffic shape once so every internal buffer
+  // reaches its high-water mark.
+  auto drive = [&] {
+    for (int round = 0; round < 10; ++round) {
+      for (Vertex v = 0; v < 100; ++v) {
+        net.broadcast(v, Message::of(round, v));
+      }
+      net.advance_round();
+    }
+    net.advance_rounds(5);  // idle rounds too
+  };
+  drive();
+
+  // Steady state: the identical traffic shape must perform zero heap
+  // allocations inside send/broadcast/advance_round.
+  const std::int64_t before = g_allocations.load();
+  drive();
+  const std::int64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0);
+}
+
+// --- Scheduler / NodeProgram -----------------------------------------------
+
+/// Never sends; runs a fixed number of rounds.
+class SilentProgram final : public NodeProgram {
+ public:
+  explicit SilentProgram(std::int64_t rounds) : rounds_(rounds) {}
+  void init(Outbox&) override {}
+  void on_round(std::int64_t, Vertex, std::span<const Received>,
+                Outbox&) override {}
+  bool done(std::int64_t next_round) const override {
+    return next_round >= rounds_;
+  }
+
+ private:
+  std::int64_t rounds_;
+};
+
+/// Broadcasts once from a vertex in init, then stays silent.
+class OneShotProgram final : public NodeProgram {
+ public:
+  OneShotProgram(Vertex from, std::int64_t rounds)
+      : from_(from), rounds_(rounds) {}
+  void init(Outbox& out) override { out.broadcast(from_, Message::of(99)); }
+  void on_round(std::int64_t, Vertex, std::span<const Received>,
+                Outbox&) override {}
+  bool done(std::int64_t next_round) const override {
+    return next_round >= rounds_;
+  }
+
+ private:
+  Vertex from_;
+  std::int64_t rounds_;
+};
+
+/// Violates the per-edge cap from inside the engine.
+class DoubleSendProgram final : public NodeProgram {
+ public:
+  void init(Outbox& out) override {
+    out.send(0, 1, Message::of(1));
+    out.send(0, 1, Message::of(2));
+  }
+  void on_round(std::int64_t, Vertex, std::span<const Received>,
+                Outbox&) override {}
+  bool done(std::int64_t next_round) const override { return next_round >= 1; }
+};
+
+TEST(Scheduler, IdleRoundAccounting) {
+  const Graph g = gen_cycle(8);
+  Network net(g);
+  SilentProgram program(5);
+  const ScheduleReport report = Scheduler(net).run(program);
+  EXPECT_EQ(report.rounds, 5);
+  EXPECT_EQ(report.idle_rounds, 5);
+  EXPECT_EQ(report.traffic.messages, 0);
+  EXPECT_EQ(net.stats().rounds, 5);  // idle rounds still count
+}
+
+TEST(Scheduler, MixedIdleAccounting) {
+  const Graph g = gen_path(4);
+  Network net(g);
+  OneShotProgram program(0, 6);
+  const ScheduleReport report = Scheduler(net).run(program);
+  // Round 0 delivers the broadcast; the remaining 5 rounds are idle.
+  EXPECT_EQ(report.rounds, 6);
+  EXPECT_EQ(report.idle_rounds, 5);
+  EXPECT_EQ(report.traffic.messages, 1);
+  EXPECT_EQ(report.traffic.words, 1);
+}
+
+TEST(Scheduler, PerProgramTrafficDeltas) {
+  const Graph g = gen_path(4);
+  Network net(g);
+  Scheduler scheduler(net);
+  OneShotProgram first(0, 2);
+  OneShotProgram second(1, 3);
+  const ScheduleReport r1 = scheduler.run(first);
+  const ScheduleReport r2 = scheduler.run(second);
+  EXPECT_EQ(r1.rounds, 2);
+  EXPECT_EQ(r1.traffic.messages, 1);
+  EXPECT_EQ(r2.rounds, 3);
+  EXPECT_EQ(r2.traffic.messages, 2);  // vertex 1 has two neighbours
+  EXPECT_EQ(net.stats().rounds, 5);   // cumulative across programs
+  EXPECT_EQ(net.stats().messages, 3);
+}
+
+TEST(Scheduler, CongestViolationPropagates) {
+  const Graph g = gen_path(3);
+  Network net(g);
+  DoubleSendProgram program;
+  Scheduler scheduler(net);
+  EXPECT_THROW(scheduler.run(program), CongestViolation);
+}
+
+TEST(Scheduler, FloodThroughEngineMatchesSchedule) {
+  // flood_presence runs on the engine; its fixed schedule burns rounds even
+  // after the wave dies out, and the result is unchanged.
+  const Graph g = gen_path(3);
+  Network net(g);
+  const FloodResult flood = flood_presence(net, {0}, 10);
+  EXPECT_EQ(net.stats().rounds, 10);
+  EXPECT_EQ(flood.dist[0], 0);
+  EXPECT_EQ(flood.dist[1], 1);
+  EXPECT_EQ(flood.dist[2], 2);
+}
+
+}  // namespace
+}  // namespace usne::congest
