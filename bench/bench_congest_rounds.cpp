@@ -7,14 +7,20 @@
 //
 // Output: measured rounds (with per-step breakdown) against the schedule
 // budget, message totals, endpoint-consistency verdicts, and size bounds.
-// With `--json FILE`, additionally writes the per-row counts as JSON so CI
-// (scripts/check.sh) can track the perf trajectory across PRs.
+// With `--threads N` (or `--threads max`) every workload additionally runs
+// on the parallel round scheduler: the bench verifies the model counts are
+// bit-identical to the serial engine (exit 1 otherwise — determinism is a
+// hard guarantee, not a hope) and reports the wall-clock speedup.
+// With `--json FILE`, the per-row model counts and the timing records are
+// written as JSON so CI (scripts/check.sh) can track the perf trajectory
+// across PRs and fail on serial/parallel divergence.
 
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/emulator_distributed.hpp"
@@ -39,23 +45,52 @@ std::int64_t schedule_budget(const DistributedParams& p) {
   return budget;
 }
 
+bool same_counts(const DistributedBuildResult& a,
+                 const DistributedBuildResult& b) {
+  return a.net.rounds == b.net.rounds && a.net.messages == b.net.messages &&
+         a.net.words == b.net.words &&
+         a.base.h.num_edges() == b.base.h.num_edges();
+}
+
 }  // namespace
 }  // namespace usne
 
 int main(int argc, char** argv) {
   using namespace usne;
   std::string json_path;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --json requires a file path\n"
-                  << "usage: bench_congest_rounds [--json FILE]\n";
-        return 2;
-      }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const std::string arg = argv[++i];
+      if (arg == "max") {
+        // At least 2 so the parallel engine is exercised even on a
+        // single-core host (oversubscription is harmless for the
+        // determinism check; only the speedup is then uninteresting).
+        threads = std::max(2u, std::thread::hardware_concurrency());
+      } else {
+        char* end = nullptr;
+        const long value = std::strtol(arg.c_str(), &end, 10);
+        if (end == arg.c_str() || *end != '\0' || value < 0) {
+          std::cerr << "error: --threads expects a non-negative integer or "
+                       "'max', got '" << arg << "'\n";
+          return 2;
+        }
+        // 0 = hardware concurrency, matching Network::set_execution_threads.
+        threads = value == 0
+                      ? std::max(1u, std::thread::hardware_concurrency())
+                      : static_cast<int>(value);
+      }
+    } else {
+      std::cerr << "usage: bench_congest_rounds [--json FILE] "
+                   "[--threads N|max]\n";
+      return 2;
     }
   }
-  std::string json;  // accumulated per-row records
+  std::string json;         // accumulated per-row model-count records
+  std::string json_timing;  // accumulated per-row timing records
+  bool diverged = false;
 
   bench::banner("E4  bench_congest_rounds",
                 "Corollary 3.11: deterministic CONGEST construction in "
@@ -64,7 +99,8 @@ int main(int argc, char** argv) {
   Timer total;
 
   Table table({"family", "n", "kappa", "rho", "rounds", "budget",
-               "rounds/budget", "messages", "|H|", "size_ok", "endpoints_ok"});
+               "rounds/budget", "messages", "|H|", "size_ok", "endpoints_ok",
+               "wall_s", "speedup"});
   const double eps = 0.4;
   struct Row {
     const char* family;
@@ -82,7 +118,29 @@ int main(int argc, char** argv) {
         DistributedParams::compute(g.num_vertices(), row.kappa, row.rho, eps);
     DistributedOptions options;
     options.keep_audit_data = false;
+
+    // Serial reference run (the model counts of record).
+    Timer serial_timer;
+    options.num_threads = 1;
     const auto r = build_emulator_distributed(g, params, options);
+    const double serial_s = serial_timer.seconds();
+
+    // Parallel run: counts must be bit-identical; wall-clock may improve.
+    double parallel_s = serial_s;
+    if (threads > 1) {
+      Timer parallel_timer;
+      options.num_threads = threads;
+      const auto rp = build_emulator_distributed(g, params, options);
+      parallel_s = parallel_timer.seconds();
+      if (!same_counts(r, rp)) {
+        std::cerr << "DIVERGENCE: " << row.family << " n=" << row.n
+                  << " model counts differ between --threads 1 and --threads "
+                  << threads << "\n";
+        diverged = true;
+      }
+    }
+    const double speedup = parallel_s > 0 ? serial_s / parallel_s : 1.0;
+
     const std::int64_t budget = schedule_budget(params);
     const bool size_ok =
         r.base.h.num_edges() <= size_bound_edges(g.num_vertices(), row.kappa);
@@ -98,7 +156,9 @@ int main(int argc, char** argv) {
         .add(r.net.messages)
         .add(r.base.h.num_edges())
         .add(size_ok ? "yes" : "NO")
-        .add(r.endpoints_consistent() ? "yes" : "NO");
+        .add(r.endpoints_consistent() ? "yes" : "NO")
+        .add(serial_s, 3)
+        .add(threads > 1 ? speedup : 1.0, 2);
 
     if (!json.empty()) json += ",\n";
     json += "    {\"family\": \"" + std::string(row.family) +
@@ -108,13 +168,22 @@ int main(int argc, char** argv) {
             ", \"messages\": " + std::to_string(r.net.messages) +
             ", \"words\": " + std::to_string(r.net.words) +
             ", \"edges\": " + std::to_string(r.base.h.num_edges()) + "}";
+    if (!json_timing.empty()) json_timing += ",\n";
+    json_timing += "    {\"family\": \"" + std::string(row.family) +
+                   "\", \"n\": " + std::to_string(g.num_vertices()) +
+                   ", \"wall_s_serial\": " + format_double(serial_s, 4) +
+                   ", \"wall_s_parallel\": " + format_double(parallel_s, 4) +
+                   ", \"speedup\": " + format_double(speedup, 3) + "}";
   }
-  table.print(std::cout, "E4: CONGEST rounds vs schedule budget");
+  table.print(std::cout, "E4: CONGEST rounds vs schedule budget (threads=" +
+                             std::to_string(threads) + ")");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"congest_rounds\",\n  \"rows\": [\n" << json
-        << "\n  ]\n}\n";
+    out << "{\n  \"bench\": \"congest_rounds\",\n  \"threads\": " << threads
+        << ",\n  \"rows\": [\n"
+        << json << "\n  ],\n  \"timing\": [\n"
+        << json_timing << "\n  ]\n}\n";
     std::cout << "\n[wrote " << json_path << "]\n";
   }
 
@@ -147,7 +216,13 @@ int main(int argc, char** argv) {
               "fixed O(beta*n^rho) schedule is respected; 'endpoints_ok' "
               "verifies the paper's distinctive emulator obligation "
               "(both endpoints of every edge know it). Any cap violation "
-              "would have aborted the run.");
+              "would have aborted the run. With --threads N the same model "
+              "counts are produced by the parallel engine (verified here), "
+              "so 'speedup' is pure wall-clock.");
   std::cout << "\n[E4 done in " << format_double(total.seconds(), 1) << "s]\n";
+  if (diverged) {
+    std::cerr << "\nFAIL: serial vs parallel model counts diverged\n";
+    return 1;
+  }
   return 0;
 }

@@ -2,11 +2,20 @@
 # Tier-1 verify + CONGEST perf smoke.
 #
 #   scripts/check.sh           configure, build, run the full test suite,
-#                              then smoke-run bench_congest_rounds and emit
+#                              then smoke-run bench_congest_rounds at
+#                              --threads 1 and --threads max and emit
 #                              BENCH_congest.json (round/message/word counts
-#                              per workload — the cross-PR perf trajectory).
+#                              per workload — the cross-PR perf trajectory —
+#                              plus serial/parallel wall-clock and speedup).
+#                              Fails if the model counts diverge between the
+#                              serial and parallel engines: the parallel
+#                              scheduler's determinism is a hard guarantee.
 #
-# Exits non-zero on any build or test failure.
+# Optional TSan gate for the parallel engine (not part of the default run):
+#   cmake -B build-tsan -S . -DUSNE_TSAN=ON && cmake --build build-tsan -j
+#   ctest --test-dir build-tsan -L tsan --output-on-failure
+#
+# Exits non-zero on any build, test, or divergence failure.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,7 +31,22 @@ cmake --build build -j "${JOBS}"
 echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== CONGEST perf smoke =="
-./build/bench_congest_rounds --json BENCH_congest.json
+echo "== CONGEST perf smoke (serial reference) =="
+./build/bench_congest_rounds --threads 1 --json BENCH_congest_serial.json
+
+echo "== CONGEST perf smoke (parallel, counts must match) =="
+# bench_congest_rounds itself re-verifies serial-vs-parallel counts per row
+# and exits 1 on divergence; the JSON diff below cross-checks the two runs.
+./build/bench_congest_rounds --threads max --json BENCH_congest.json
+
+echo "== serial vs parallel model-count divergence check =="
+extract_rows() { sed -n '/"rows": \[/,/\]/p' "$1"; }
+if ! diff <(extract_rows BENCH_congest_serial.json) \
+          <(extract_rows BENCH_congest.json); then
+  echo "FAIL: model counts diverge between --threads 1 and --threads max" >&2
+  exit 1
+fi
+rm -f BENCH_congest_serial.json
+echo "model counts identical across engines"
 
 echo "== done =="

@@ -15,6 +15,10 @@ constexpr Word kJoin = 2;  // <kJoin> to parent
 /// unclaimed vertex adopts the smallest (root, sender) wave it hears and
 /// re-broadcasts next round, then one join round in which every spanned
 /// non-root notifies its parent (so parents know their children).
+///
+/// Parallel audit: on_round writes only v's forest slots plus the frontier,
+/// the latter through per-shard buffers merged in end_round (which sorts
+/// the frontier anyway, so even the merge order is immaterial here).
 class BfsForestProgram final : public NodeProgram {
  public:
   BfsForestProgram(Vertex n, const std::vector<Vertex>& roots, Dist depth)
@@ -31,6 +35,8 @@ class BfsForestProgram final : public NodeProgram {
     }
   }
 
+  void set_shards(std::size_t shards) override { claimed_.reset(shards); }
+
   void init(Outbox& out) override {
     if (depth_ > 0) {
       broadcast_waves(out);
@@ -41,7 +47,7 @@ class BfsForestProgram final : public NodeProgram {
   }
 
   void on_round(std::int64_t round, Vertex v, std::span<const Received> inbox,
-                Outbox&) override {
+                Outbox& out) override {
     if (round >= depth_) return;  // join-round traffic carries no state
     if (forest_.root[static_cast<std::size_t>(v)] != -1) return;  // claimed
     // Deterministic adoption: smallest root, then smallest sender.
@@ -60,11 +66,12 @@ class BfsForestProgram final : public NodeProgram {
       forest_.root[static_cast<std::size_t>(v)] = best_root;
       forest_.depth[static_cast<std::size_t>(v)] = round + 1;
       forest_.parent[static_cast<std::size_t>(v)] = best_from;
-      frontier_.push_back(v);
+      claimed_.push(out.shard(), v);
     }
   }
 
   void end_round(std::int64_t round, Outbox& out) override {
+    claimed_.drain_into(frontier_);
     if (round >= depth_) return;
     std::sort(frontier_.begin(), frontier_.end());
     if (round + 1 < depth_) {
@@ -101,6 +108,7 @@ class BfsForestProgram final : public NodeProgram {
   Dist depth_;
   BfsForest forest_;
   std::vector<Vertex> frontier_;
+  Sharded<Vertex> claimed_;  // per-shard frontier staging (parallel rounds)
 };
 
 }  // namespace

@@ -13,6 +13,10 @@ constexpr Word kExplore = 4;  // <kExplore, source, dist>
 /// rounds; in round t of a stride every active vertex broadcasts the t-th
 /// source it learnt during the previous stride. Stride boundaries recompute
 /// the pending lists (smallest (dist, id) first, truncated to cap).
+///
+/// Parallel audit: on_round mutates only hits_[v] — per-vertex state — so
+/// the parallel fan-out needs no shard buffers here. pending_/active_ are
+/// rewritten exclusively at stride boundaries inside end_round (serial).
 class DetectProgram final : public NodeProgram {
  public:
   DetectProgram(Vertex n, const std::vector<Vertex>& sources, Dist delta,

@@ -1,10 +1,38 @@
 #include "congest/engine.hpp"
 
+#include <string>
+
+#include "util/thread_pool.hpp"
+
 namespace usne::congest {
+namespace {
+
+/// Rounds delivering to fewer vertices than this run serially even under a
+/// parallel policy: the fork/join handshake costs more than a handful of
+/// on_round calls. Purely a wall-clock knob — results are identical either
+/// way.
+constexpr std::size_t kMinParallelFanout = 32;
+
+}  // namespace
 
 ScheduleReport Scheduler::run(NodeProgram& program) {
   ScheduleReport report;
   const NetworkStats before = net_->stats();
+
+  util::ThreadPool* const pool = net_->thread_pool();
+  const std::size_t shards =
+      pool != nullptr ? static_cast<std::size_t>(pool->parallelism()) : 1;
+  program.set_shards(shards);
+
+  // One staging outbox per shard, persistent across rounds so replay
+  // buffers keep their high-water capacity.
+  std::vector<Outbox> stage;
+  if (pool != nullptr) {
+    stage.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      stage.emplace_back(net_->graph(), s);
+    }
+  }
 
   Outbox out(*net_);
   program.init(out);
@@ -12,10 +40,38 @@ ScheduleReport Scheduler::run(NodeProgram& program) {
     net_->advance_round();
     const auto& delivered = net_->delivered_to();
     if (delivered.empty()) ++report.idle_rounds;
-    for (const Vertex v : delivered) {
-      program.on_round(round, v, net_->inbox(v), out);
+    if (pool != nullptr && delivered.size() >= kMinParallelFanout) {
+      // Contiguous chunks in ascending vertex order: shard s handles
+      // delivered[m*s/S, m*(s+1)/S). Workers only read the network
+      // (inbox/graph) and stage their sends locally; the replay below
+      // reproduces the serial staging order exactly.
+      const std::size_t m = delivered.size();
+      pool->parallel_for(static_cast<int>(shards), [&](int s) {
+        const std::size_t su = static_cast<std::size_t>(s);
+        const std::size_t chunk_begin = m * su / shards;
+        const std::size_t chunk_end = m * (su + 1) / shards;
+        Outbox& worker_out = stage[su];
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const Vertex v = delivered[i];
+          program.on_round(round, v, net_->inbox(v), worker_out);
+        }
+      });
+      for (Outbox& worker_out : stage) worker_out.replay_into(*net_);
+    } else {
+      for (const Vertex v : delivered) {
+        program.on_round(round, v, net_->inbox(v), out);
+      }
     }
     program.end_round(round, out);
+  }
+
+  // Flush-or-throw: a program whose done() trips after sends were issued
+  // would leak its staged messages into the next program run on this
+  // network. Make that a loud model violation instead.
+  if (net_->pending_messages() != 0) {
+    throw CongestViolation(
+        "program ended with " + std::to_string(net_->pending_messages()) +
+        " staged message(s) undelivered (done() tripped after sends)");
   }
 
   const NetworkStats after = net_->stats();

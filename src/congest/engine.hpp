@@ -23,11 +23,28 @@
 // it owns round advancement, meters idle rounds (rounds delivering no
 // message — fixed schedules burn them deliberately), and reports the
 // traffic accrued by the program. Hosting every algorithm on this one
-// driver is what lets later work (parallel round execution, fault
-// injection, async delivery) change the engine without touching algorithm
-// code.
+// driver is what lets the engine evolve without touching algorithm code.
+//
+// Parallel execution. The model is bulk-synchronous: every on_round call
+// within a round is logically concurrent, so when the Network carries an
+// execution policy of T > 1 lanes (Network::set_execution_threads) the
+// Scheduler partitions delivered_to() into T contiguous chunks and fans the
+// on_round calls out across a persistent thread pool. Each worker stages
+// its sends in a thread-local Outbox; the Scheduler then replays the staged
+// sends into the Network in ascending shard order, which reproduces the
+// serial staging order (ascending receiver, per-vertex send order) exactly
+// — round/message/word counts, delivery order, and every algorithm output
+// are bit-for-bit identical to the serial engine.
+//
+// The on_round contract under parallelism: a handler may freely mutate
+// state owned by its vertex v (per-vertex arrays, collected[v], queue
+// pushes keyed by v) and may send through its Outbox, but any accumulation
+// into a container shared across vertices must go through per-shard
+// buffers (see Sharded<T>) merged deterministically in end_round. Programs
+// are told the shard count via set_shards before init.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <span>
@@ -40,19 +57,64 @@ namespace usne::congest {
 
 /// Send facade handed to programs. Programs transmit through this and never
 /// touch round advancement (that is the Scheduler's job).
+///
+/// Two modes: direct (serial execution and the init/end_round hooks —
+/// sends go straight to the network) and staging (the parallel on_round
+/// fan-out — each worker buffers sends locally and the Scheduler replays
+/// them into the network in ascending shard order).
 class Outbox {
  public:
-  explicit Outbox(Network& net) : net_(&net) {}
+  /// Direct mode.
+  explicit Outbox(Network& net) : net_(&net), graph_(&net.graph()) {}
+
+  /// Staging mode for parallel shard `shard` (constructed by the
+  /// Scheduler).
+  Outbox(const Graph& g, std::size_t shard) : graph_(&g), shard_(shard) {}
+
+  /// Which parallel shard this outbox serves; 0 in serial execution and in
+  /// the central hooks. Programs accumulating into shared containers from
+  /// on_round use this to index per-shard buffers.
+  std::size_t shard() const noexcept { return shard_; }
 
   void send(Vertex from, Vertex to, const Message& msg) {
-    net_->send(from, to, msg);
+    if (net_ != nullptr) {
+      net_->send(from, to, msg);
+    } else {
+      staged_.push_back({from, to, msg});
+    }
   }
+
   void broadcast(Vertex from, const Message& msg) {
-    net_->broadcast(from, msg);
+    if (net_ != nullptr) {
+      net_->broadcast(from, msg);
+      return;
+    }
+    for (const Vertex to : graph_->neighbors(from)) {
+      staged_.push_back({from, to, msg});
+    }
   }
 
  private:
-  Network* net_;
+  friend class Scheduler;
+
+  struct Staged {
+    Vertex from;
+    Vertex to;
+    Message msg;
+  };
+
+  /// Replays staged sends into `net` in staging order (Scheduler only).
+  /// Runs the same per-send cap checks a direct send would, in the same
+  /// order the serial engine would have run them.
+  void replay_into(Network& net) {
+    for (const Staged& s : staged_) net.send(s.from, s.to, s.msg);
+    staged_.clear();
+  }
+
+  Network* net_ = nullptr;
+  const Graph* graph_ = nullptr;
+  std::size_t shard_ = 0;
+  std::vector<Staged> staged_;
 };
 
 /// A node-local synchronous protocol. See the file comment for the hook
@@ -61,14 +123,22 @@ class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
 
-  /// Seeds node state and the sends of round 0.
+  /// Called once by the Scheduler before init: the number of parallel
+  /// shards the on_round fan-out will use (1 under serial execution).
+  /// Programs that accumulate into containers shared across vertices
+  /// allocate one buffer per shard here (see Sharded<T>).
+  virtual void set_shards(std::size_t shards) { (void)shards; }
+
+  /// Seeds node state and the sends of round 0. Runs serially.
   virtual void init(Outbox& out) = 0;
 
   /// Delivery callback for round `round`: v's inbox, sorted by sender.
+  /// May run concurrently with other vertices' calls — see the parallel
+  /// contract in the file comment.
   virtual void on_round(std::int64_t round, Vertex v,
                         std::span<const Received> inbox, Outbox& out) = 0;
 
-  /// Central hook after all on_round calls of `round`.
+  /// Central hook after all on_round calls of `round`. Runs serially.
   virtual void end_round(std::int64_t round, Outbox& out) {
     (void)round;
     (void)out;
@@ -86,63 +156,125 @@ struct ScheduleReport {
   NetworkStats traffic;          ///< stats accrued while the program ran
 };
 
+/// Per-shard append buffers for on_round handlers that would otherwise push
+/// into one shared vector. push() is safe to call concurrently for distinct
+/// shards; drain_into() (serial, from end_round) concatenates the buffers
+/// in ascending shard order. Because shard s covers a contiguous ascending
+/// vertex range, the drained order equals the serial push order exactly.
+template <typename T>
+class Sharded {
+ public:
+  /// (Re)allocates `shards` empty buffers; call from set_shards.
+  void reset(std::size_t shards) {
+    buffers_.clear();
+    buffers_.resize(shards);
+  }
+
+  void push(std::size_t shard, T value) {
+    buffers_[shard].items.push_back(std::move(value));
+  }
+
+  /// Appends every buffer to `dst` in ascending shard order and clears
+  /// them.
+  void drain_into(std::vector<T>& dst) {
+    for (Buffer& b : buffers_) {
+      dst.insert(dst.end(), std::make_move_iterator(b.items.begin()),
+                 std::make_move_iterator(b.items.end()));
+      b.items.clear();
+    }
+  }
+
+ private:
+  // Cache-line aligned so concurrent shard pushes do not contend on the
+  // vector headers.
+  struct alignas(64) Buffer {
+    std::vector<T> items;
+  };
+  std::vector<Buffer> buffers_;
+};
+
 /// Per-vertex pipelined send queues for down-cast protocols (the emulator
 /// notification epoch, the spanner path marks). Each drain_round call
 /// models one CONGEST round: every vertex dispatches at most one queued
 /// item per distinct neighbour and defers the rest, so the per-edge cap
 /// holds by construction.
+///
+/// push() is safe to call concurrently from the parallel on_round fan-out
+/// as long as each caller pushes with its own vertex as `from` (distinct
+/// queues; the item counter is atomic). drain_round is serial-only.
 template <typename Payload>
 class PipelinedQueues {
  public:
   explicit PipelinedQueues(Vertex n = 0) { resize(n); }
 
-  void resize(Vertex n) { queues_.resize(static_cast<std::size_t>(n)); }
+  void resize(Vertex n) {
+    queues_.resize(static_cast<std::size_t>(n));
+    dest_stamp_.assign(static_cast<std::size_t>(n), 0);
+  }
 
   void push(Vertex from, Vertex to, Payload payload) {
     queues_[static_cast<std::size_t>(from)].push_back(
         {to, std::move(payload)});
-    ++queued_;
+    queued_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Items still queued (excluding anything already handed to `send`).
-  std::int64_t queued() const noexcept { return queued_; }
+  std::int64_t queued() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
 
   /// One pipelined round: dispatches through send(from, to, payload).
-  /// Returns true if anything was sent.
+  /// Returns true if anything was sent. Destination bookkeeping is a
+  /// per-source round stamp, so a round costs O(items scanned), not
+  /// O(destinations-served^2) as a membership list would.
   template <typename SendFn>
   bool drain_round(SendFn&& send) {
     bool any = false;
     for (std::size_t v = 0; v < queues_.size(); ++v) {
       auto& queue = queues_[v];
       if (queue.empty()) continue;
-      std::vector<std::pair<Vertex, Payload>> deferred;
-      std::vector<Vertex> used;  // destinations served this round
+      ++stamp_;  // opens this source's service window
+      deferred_.clear();
       while (!queue.empty()) {
-        auto [to, payload] = std::move(queue.front());
+        std::pair<Vertex, Payload> item = std::move(queue.front());
         queue.pop_front();
-        if (std::find(used.begin(), used.end(), to) != used.end()) {
-          deferred.push_back({to, std::move(payload)});
+        std::int64_t& last = dest_stamp_[static_cast<std::size_t>(item.first)];
+        if (last == stamp_) {  // destination already served this round
+          deferred_.push_back(std::move(item));
           continue;
         }
-        used.push_back(to);
-        --queued_;
-        send(static_cast<Vertex>(v), to, payload);
+        last = stamp_;
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        send(static_cast<Vertex>(v), item.first, item.second);
         any = true;
       }
-      for (auto& d : deferred) queue.push_back(std::move(d));
+      for (auto& d : deferred_) queue.push_back(std::move(d));
+      deferred_.clear();
     }
     return any;
   }
 
  private:
   std::vector<std::deque<std::pair<Vertex, Payload>>> queues_;
-  std::int64_t queued_ = 0;
+  std::atomic<std::int64_t> queued_{0};
+  // Per-destination stamp of the last (source, round) window that served
+  // it; windows are numbered by stamp_, monotonically across rounds.
+  std::vector<std::int64_t> dest_stamp_;
+  std::int64_t stamp_ = 0;
+  std::vector<std::pair<Vertex, Payload>> deferred_;  // reused round buffer
 };
 
 /// Drives NodePrograms over a Network. Several programs may run back to
 /// back on the same network (the phases of the emulator construction do);
 /// stats accumulate across them in Network::stats() while each report
 /// carries the per-program delta.
+///
+/// Execution policy comes from the Network (set_execution_threads): with
+/// T > 1 lanes the on_round fan-out of sufficiently large rounds runs on
+/// the network's persistent thread pool, bit-for-bit equivalent to serial
+/// execution. At program end the Scheduler verifies that no staged
+/// messages remain undelivered and throws CongestViolation otherwise
+/// (they would silently leak into the next program on the same network).
 class Scheduler {
  public:
   explicit Scheduler(Network& net) : net_(&net) {}

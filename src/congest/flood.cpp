@@ -10,6 +10,9 @@ constexpr Word kPresence = 3;  // <kPresence>
 /// Presence flood as a NodeProgram: a vertex first reached in round r
 /// records distance r+1 and forwards the presence wave next round (unless
 /// the schedule ends first). Sources are seeded in init.
+///
+/// Parallel audit: on_round writes dist_[v] (per-vertex) and appends to the
+/// frontier — the latter through per-shard buffers merged in end_round.
 class FloodProgram final : public NodeProgram {
  public:
   FloodProgram(Vertex n, const std::vector<Vertex>& sources, Dist depth)
@@ -23,6 +26,8 @@ class FloodProgram final : public NodeProgram {
     }
   }
 
+  void set_shards(std::size_t shards) override { reached_.reset(shards); }
+
   void init(Outbox& out) override {
     if (depth_ > 0) {
       for (const Vertex v : frontier_) out.broadcast(v, Message::of(kPresence));
@@ -31,14 +36,15 @@ class FloodProgram final : public NodeProgram {
   }
 
   void on_round(std::int64_t round, Vertex v, std::span<const Received>,
-                Outbox&) override {
+                Outbox& out) override {
     if (dist_[static_cast<std::size_t>(v)] == kInfDist) {
       dist_[static_cast<std::size_t>(v)] = round + 1;
-      frontier_.push_back(v);
+      reached_.push(out.shard(), v);
     }
   }
 
   void end_round(std::int64_t round, Outbox& out) override {
+    reached_.drain_into(frontier_);
     if (round + 1 < depth_) {
       for (const Vertex v : frontier_) out.broadcast(v, Message::of(kPresence));
     }
@@ -55,6 +61,7 @@ class FloodProgram final : public NodeProgram {
   Dist depth_;
   std::vector<Dist> dist_;
   std::vector<Vertex> frontier_;
+  Sharded<Vertex> reached_;  // per-shard frontier staging (parallel rounds)
 };
 
 }  // namespace

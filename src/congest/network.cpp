@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
+
+#include "util/thread_pool.hpp"
 
 namespace usne::congest {
 
@@ -10,14 +13,40 @@ Network::Network(const Graph& g)
       inbox_begin_(static_cast<std::size_t>(g.num_vertices()), 0),
       inbox_count_(static_cast<std::size_t>(g.num_vertices()), 0),
       pending_count_(static_cast<std::size_t>(g.num_vertices()), 0),
-      edge_round_stamp_(static_cast<std::size_t>(g.num_edges()) * 2, -1) {}
+      edge_round_stamp_(static_cast<std::size_t>(g.num_edges()) * 2, -1) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument(
+        "Network requires a non-empty graph (n >= 1 processors)");
+  }
+}
+
+Network::~Network() = default;
+Network::Network(Network&&) noexcept = default;
+Network& Network::operator=(Network&&) noexcept = default;
+
+void Network::set_execution_threads(int threads) {
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(threads, 1);
+  if (threads != exec_threads_) {
+    pool_.reset();  // rebuilt lazily at the new width
+    exec_threads_ = threads;
+  }
+}
+
+util::ThreadPool* Network::thread_pool() {
+  if (exec_threads_ <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(exec_threads_);
+  return pool_.get();
+}
 
 std::int64_t Network::directed_edge_id(Vertex from, Vertex to) const {
   const auto nbrs = graph_->neighbors(from);
   const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
   if (it == nbrs.end() || *it != to) return -1;
   // Directed edge slots are laid out as the CSR adjacency itself.
-  return (nbrs.data() - graph_->neighbors(0).data()) + (it - nbrs.begin());
+  return graph_->csr_offset(from) + (it - nbrs.begin());
 }
 
 void Network::send(Vertex from, Vertex to, const Message& msg) {

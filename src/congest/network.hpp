@@ -23,12 +23,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
+
+namespace usne::util {
+class ThreadPool;
+}  // namespace usne::util
 
 namespace usne::congest {
 
@@ -80,10 +85,29 @@ struct NetworkStats {
 /// during a round and call advance_round() to deliver.
 class Network {
  public:
+  /// Throws std::invalid_argument on an empty graph (a CONGEST network
+  /// needs at least one processor; edge-slot arithmetic assumes n > 0).
   explicit Network(const Graph& g);
+  ~Network();
+
+  // Movable, not copyable. Defined in network.cpp where ThreadPool is
+  // complete (the in-class default would not compile for clients).
+  Network(Network&&) noexcept;
+  Network& operator=(Network&&) noexcept;
 
   const Graph& graph() const noexcept { return *graph_; }
   Vertex num_vertices() const noexcept { return graph_->num_vertices(); }
+
+  /// Execution-policy knob read by the Scheduler: total worker lanes for
+  /// the parallel round fan-out. 1 (the default) selects the serial
+  /// engine; 0 resolves to the hardware concurrency. The engines are
+  /// bit-for-bit equivalent, so this only affects wall-clock time.
+  void set_execution_threads(int threads);
+  int execution_threads() const noexcept { return exec_threads_; }
+
+  /// The persistent worker pool backing the parallel scheduler. Lazily
+  /// created on first use; nullptr while execution_threads() == 1.
+  util::ThreadPool* thread_pool();
 
   /// Sends `msg` from `from` to neighbouring vertex `to` for delivery at the
   /// start of the next round. Throws CongestViolation if (from,to) is not an
@@ -116,6 +140,13 @@ class Network {
     return delivered_;
   }
 
+  /// Messages staged for the next round but not yet delivered. A program
+  /// must end with zero (the Scheduler enforces this): anything left here
+  /// would silently leak into the next program run on the same network.
+  std::int64_t pending_messages() const noexcept {
+    return static_cast<std::int64_t>(pending_.size());
+  }
+
   const NetworkStats& stats() const noexcept { return stats_; }
 
  private:
@@ -142,6 +173,9 @@ class Network {
   // reset by comparing against the current round number.
   std::vector<std::int64_t> edge_round_stamp_;
   NetworkStats stats_;
+  // Execution policy for the Scheduler (see set_execution_threads).
+  int exec_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace usne::congest

@@ -19,6 +19,12 @@ constexpr Word kPresence = 3;  // same wire format as the presence flood
 /// the current level reaches it, and a candidate whose digit matches the
 /// current value selects itself iff it is uncovered. Idle flood rounds
 /// (empty batch) still burn — the schedule is fixed, like the paper's.
+///
+/// Parallel audit: on_round writes reach_epoch_[v] / covered_[v]
+/// (per-vertex; covered_ is byte-wide so neighbouring writes cannot race a
+/// shared bitfield word) and appends to the frontier through per-shard
+/// buffers merged in end_round. All sweep bookkeeping stays in the serial
+/// hooks.
 class RulingSetProgram final : public NodeProgram {
  public:
   RulingSetProgram(Vertex n, const std::vector<Vertex>& w, Dist q,
@@ -28,11 +34,13 @@ class RulingSetProgram final : public NodeProgram {
     std::sort(candidates_.begin(), candidates_.end());
     candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
                       candidates_.end());
-    covered_.assign(static_cast<std::size_t>(n), false);
+    covered_.assign(static_cast<std::size_t>(n), 0);
     reach_epoch_.assign(static_cast<std::size_t>(n), 0);
     level_ = levels - 1;
     finished_ = level_ < 0 || candidates_.size() <= 1;
   }
+
+  void set_shards(std::size_t shards) override { reached_.reset(shards); }
 
   void init(Outbox& out) override {
     if (finished_) return;
@@ -41,14 +49,15 @@ class RulingSetProgram final : public NodeProgram {
   }
 
   void on_round(std::int64_t, Vertex v, std::span<const Received>,
-                Outbox&) override {
+                Outbox& out) override {
     if (reach_epoch_[static_cast<std::size_t>(v)] == epoch_) return;
     reach_epoch_[static_cast<std::size_t>(v)] = epoch_;
-    covered_[static_cast<std::size_t>(v)] = true;
-    frontier_.push_back(v);
+    covered_[static_cast<std::size_t>(v)] = 1;
+    reached_.push(out.shard(), v);
   }
 
   void end_round(std::int64_t, Outbox& out) override {
+    reached_.drain_into(frontier_);
     if (flood_round_ + 1 < q_ + 1) {
       // The flood has rounds left: forward the freshly-reached frontier.
       ++flood_round_;
@@ -93,7 +102,7 @@ class RulingSetProgram final : public NodeProgram {
 
  private:
   void begin_level() {
-    std::fill(covered_.begin(), covered_.end(), false);
+    std::fill(covered_.begin(), covered_.end(), 0);
     val_ = base_ - 1;
     last_batch_.clear();
   }
@@ -104,7 +113,7 @@ class RulingSetProgram final : public NodeProgram {
     flood_round_ = 0;
     for (const Vertex s : last_batch_) {
       reach_epoch_[static_cast<std::size_t>(s)] = epoch_;
-      covered_[static_cast<std::size_t>(s)] = true;
+      covered_[static_cast<std::size_t>(s)] = 1;
       out.broadcast(s, Message::of(kPresence));
     }
   }
@@ -120,7 +129,8 @@ class RulingSetProgram final : public NodeProgram {
   std::vector<Vertex> selected_;      // survivors of the current level
   std::vector<Vertex> last_batch_;    // selected at the previous value
   std::vector<Vertex> frontier_;      // reached this flood round
-  std::vector<bool> covered_;         // per-vertex, current level
+  Sharded<Vertex> reached_;           // per-shard frontier staging
+  std::vector<std::uint8_t> covered_;  // per-vertex, current level
   std::vector<std::int64_t> reach_epoch_;
 };
 

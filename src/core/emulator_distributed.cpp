@@ -162,6 +162,11 @@ struct BacktrackCtx {
 /// splits and forms superclusters on the spot); within a stride the
 /// surviving senders pipeline one collected <origin, depth> message per
 /// round toward their parents.
+///
+/// Parallel audit: on_round appends only to collected[v] and route[v] —
+/// state keyed by the receiving vertex — so the fan-out is race-free as
+/// is. Hub decisions and all shared-state mutation live in end_round
+/// (serial).
 class BacktrackProgram final : public NodeProgram {
  public:
   explicit BacktrackProgram(BacktrackCtx& ctx)
@@ -327,6 +332,11 @@ class BacktrackProgram final : public NodeProgram {
 /// kGroupEdge broadcasts flood whole subtrees, all pipelined one message
 /// per edge per round. The schedule is fixed (depth_limit + 4*factor*capdeg
 /// + 16 rounds) but ends early once every queue has drained.
+///
+/// Parallel audit: on_round writes b.out.local[v] (per-vertex) and pushes
+/// into the down-cast pipeline keyed by v — PipelinedQueues::push is safe
+/// for concurrent distinct sources (atomic item counter). route/children
+/// are only read here.
 class NotifyProgram final : public NodeProgram {
  public:
   NotifyProgram(BacktrackCtx& ctx, std::int64_t epoch)
@@ -464,6 +474,7 @@ DistributedBuildResult build_emulator_distributed(
   Builder b(g);
   b.params = &params;
   b.options = options;
+  b.net.set_execution_threads(options.num_threads);
   b.out.base.h = WeightedGraph(n);
   b.out.base.u_level.assign(static_cast<std::size_t>(n), -1);
   b.out.base.u_center.assign(static_cast<std::size_t>(n), -1);

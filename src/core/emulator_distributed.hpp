@@ -49,6 +49,12 @@ struct DistributedOptions {
   /// larger values split later (fewer, larger superclusters, more per-edge
   /// pipeline rounds). Must be >= 1.
   int hub_threshold_factor = 2;
+
+  /// Worker lanes for the parallel round scheduler (1 = serial, 0 =
+  /// hardware concurrency). The engine is deterministic: round/message/
+  /// word counts and every output are bit-for-bit identical for any value
+  /// — only wall-clock time changes.
+  int num_threads = 1;
 };
 
 /// Result of a distributed build: the usual audit bundle plus network

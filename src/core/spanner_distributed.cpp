@@ -33,6 +33,12 @@ constexpr Word kPathMark = 21;  // <kPathMark, source>    along pred chains
 /// per-vertex dedup, so each tree edge carries at most one kJoinMark ever.
 /// Every vertex that held a mark adds its parent edge. Runs exactly
 /// `depth_limit` rounds.
+///
+/// Parallel audit: on_round writes marked_[v] (byte-wide, per-vertex) and
+/// stages newly marked vertices in per-shard buffers; the shared spanner
+/// graph / edge log / counter are touched only from end_round, where the
+/// shard merge (ascending shard = ascending vertex) reproduces the serial
+/// edge order exactly.
 class MarkUpcastProgram final : public NodeProgram {
  public:
   MarkUpcastProgram(Vertex n, const BfsForest& forest,
@@ -45,16 +51,18 @@ class MarkUpcastProgram final : public NodeProgram {
         log_(log),
         phase_(phase),
         edge_counter_(edge_counter) {
-    marked_.assign(static_cast<std::size_t>(n), false);
+    marked_.assign(static_cast<std::size_t>(n), 0);
     for (Vertex v = 0; v < n; ++v) {
       if (forest.spanned(v) && is_center[static_cast<std::size_t>(v)] &&
           forest.depth[static_cast<std::size_t>(v)] > 0) {
-        marked_[static_cast<std::size_t>(v)] = true;
+        marked_[static_cast<std::size_t>(v)] = 1;
         fresh_.push_back(v);
       }
     }
     for (const Vertex v : fresh_) add_parent_edge(v);
   }
+
+  void set_shards(std::size_t shards) override { newly_marked_.reset(shards); }
 
   void init(Outbox& out) override {
     if (depth_limit_ > 0) send_marks(out);
@@ -62,7 +70,7 @@ class MarkUpcastProgram final : public NodeProgram {
   }
 
   void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
-                Outbox&) override {
+                Outbox& out) override {
     if (marked_[static_cast<std::size_t>(v)]) return;
     bool got_mark = false;
     for (const Received& r : inbox) {
@@ -70,13 +78,14 @@ class MarkUpcastProgram final : public NodeProgram {
     }
     if (got_mark && forest_.spanned(v) &&
         forest_.depth[static_cast<std::size_t>(v)] > 0) {
-      marked_[static_cast<std::size_t>(v)] = true;
-      add_parent_edge(v);
-      fresh_.push_back(v);
+      marked_[static_cast<std::size_t>(v)] = 1;
+      newly_marked_.push(out.shard(), v);
     }
   }
 
   void end_round(std::int64_t round, Outbox& out) override {
+    newly_marked_.drain_into(fresh_);
+    for (const Vertex v : fresh_) add_parent_edge(v);
     if (round + 1 < depth_limit_) send_marks(out);
     fresh_.clear();
   }
@@ -110,8 +119,9 @@ class MarkUpcastProgram final : public NodeProgram {
   std::vector<ChargedEdge>* log_;
   int phase_;
   std::int64_t& edge_counter_;
-  std::vector<bool> marked_;
-  std::vector<Vertex> fresh_;  // marked this round, send next round
+  std::vector<std::uint8_t> marked_;
+  std::vector<Vertex> fresh_;     // marked this round, send next round
+  congest::Sharded<Vertex> newly_marked_;  // per-shard staging for fresh_
 };
 
 /// Interconnection path-marking as a NodeProgram: every U_i center sends
@@ -119,6 +129,12 @@ class MarkUpcastProgram final : public NodeProgram {
 /// chain; relays add the edge toward their predecessor and forward. Marks
 /// are pipelined one message per edge per round and the program runs until
 /// drained (a hard ceiling guards against logic errors only).
+///
+/// Parallel audit: the relay step (forwarded-set dedup, spanner edge adds,
+/// queue pushes) mutates shared state, so on_round only records mark
+/// arrivals in per-shard buffers; end_round replays them in ascending
+/// shard order — identical to the serial arrival order — before draining
+/// the pipeline.
 class PathMarksProgram final : public NodeProgram {
  public:
   PathMarksProgram(Vertex n, const DetectResult& det,
@@ -142,6 +158,8 @@ class PathMarksProgram final : public NodeProgram {
     }
   }
 
+  void set_shards(std::size_t shards) override { arrivals_.reset(shards); }
+
   void init(Outbox& out) override {
     if (queue_.queued() == 0) {
       finished_ = true;
@@ -151,16 +169,19 @@ class PathMarksProgram final : public NodeProgram {
   }
 
   void on_round(std::int64_t, Vertex v, std::span<const Received> inbox,
-                Outbox&) override {
+                Outbox& out) override {
     for (const Received& r : inbox) {
       if (r.msg.words[0] != kPathMark) continue;
       const Vertex source = static_cast<Vertex>(r.msg.words[1]);
       if (v == source) continue;  // mark arrived
-      enqueue(v, source, source);
+      arrivals_.push(out.shard(), {v, source});
     }
   }
 
   void end_round(std::int64_t round, Outbox& out) override {
+    arrivals_.drain_into(arrival_buf_);
+    for (const Arrival& a : arrival_buf_) enqueue(a.at, a.source, a.source);
+    arrival_buf_.clear();
     if (queue_.queued() == 0) {
       finished_ = true;
       return;
@@ -204,6 +225,12 @@ class PathMarksProgram final : public NodeProgram {
            static_cast<std::uint32_t>(src);
   }
 
+  /// A kPathMark delivery observed by on_round, relayed in end_round.
+  struct Arrival {
+    Vertex at;
+    Vertex source;
+  };
+
   const DetectResult& det_;
   WeightedGraph& h_;
   std::vector<ChargedEdge>* log_;
@@ -213,6 +240,8 @@ class PathMarksProgram final : public NodeProgram {
   // Per-vertex queues of (next_hop, source) marks to forward.
   congest::PipelinedQueues<Vertex> queue_;
   std::unordered_set<std::uint64_t> forwarded_;
+  congest::Sharded<Arrival> arrivals_;  // per-shard arrival staging
+  std::vector<Arrival> arrival_buf_;    // reused merge buffer
   bool finished_ = false;
 };
 
@@ -220,7 +249,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
                                     const PhaseSchedule& sched,
                                     const std::vector<Dist>& rul,
                                     std::int64_t ruling_base,
-                                    bool keep_audit_data) {
+                                    bool keep_audit_data, int num_threads) {
   const Vertex n = g.num_vertices();
   if (params_n != n) {
     throw std::invalid_argument("params were computed for a different n");
@@ -233,6 +262,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
   out.base.u_center.assign(static_cast<std::size_t>(n), -1);
 
   Network net(g);
+  net.set_execution_threads(num_threads);
   Scheduler scheduler(net);
   std::vector<Cluster> current = singleton_partition(n);
   if (keep_audit_data) out.base.partitions.push_back(current);
@@ -359,15 +389,17 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
 
 DistributedSpannerResult build_spanner_congest(const Graph& g,
                                                const SpannerParams& params,
-                                               bool keep_audit_data) {
+                                               bool keep_audit_data,
+                                               int num_threads) {
   return build_impl(g, params.n, params.schedule, params.rul,
-                    params.ruling_base, keep_audit_data);
+                    params.ruling_base, keep_audit_data, num_threads);
 }
 
 DistributedSpannerResult build_spanner_congest_em19(
-    const Graph& g, const DistributedParams& params, bool keep_audit_data) {
+    const Graph& g, const DistributedParams& params, bool keep_audit_data,
+    int num_threads) {
   return build_impl(g, params.n, params.schedule, params.rul,
-                    params.ruling_base, keep_audit_data);
+                    params.ruling_base, keep_audit_data, num_threads);
 }
 
 }  // namespace usne

@@ -33,14 +33,17 @@ struct DistributedSpannerResult {
   congest::NetworkStats net;
 };
 
-/// §4 spanner (EN17a-style degree sequence) in CONGEST.
+/// §4 spanner (EN17a-style degree sequence) in CONGEST. `num_threads`
+/// selects the engine's parallel round fan-out (1 = serial, 0 = hardware
+/// concurrency); results are bit-for-bit identical for any value.
 DistributedSpannerResult build_spanner_congest(const Graph& g,
                                                const SpannerParams& params,
-                                               bool keep_audit_data = true);
+                                               bool keep_audit_data = true,
+                                               int num_threads = 1);
 
 /// [EM19] baseline (§3 degree sequence) in CONGEST.
 DistributedSpannerResult build_spanner_congest_em19(
     const Graph& g, const DistributedParams& params,
-    bool keep_audit_data = true);
+    bool keep_audit_data = true, int num_threads = 1);
 
 }  // namespace usne

@@ -57,6 +57,13 @@ class Graph {
     return offsets_[v + 1] - offsets_[v];
   }
 
+  /// Offset of v's adjacency run in the underlying CSR storage; valid for
+  /// v in [0, n] (csr_offset(n) == 2|E|). Directed-edge slot arithmetic
+  /// (e.g. the CONGEST per-edge cap) builds on this instead of poking at
+  /// span data pointers, which is undefined on an empty graph and fragile
+  /// against storage changes.
+  std::int64_t csr_offset(Vertex v) const noexcept { return offsets_[v]; }
+
   std::int64_t max_degree() const noexcept { return max_degree_; }
 
   /// The normalized (u <= v), sorted edge list.

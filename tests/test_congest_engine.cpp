@@ -12,6 +12,8 @@
 #include <new>
 #include <random>
 #include <set>
+#include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "congest/engine.hpp"
@@ -247,6 +249,139 @@ TEST(Scheduler, FloodThroughEngineMatchesSchedule) {
   EXPECT_EQ(flood.dist[0], 0);
   EXPECT_EQ(flood.dist[1], 1);
   EXPECT_EQ(flood.dist[2], 2);
+}
+
+// --- flush-or-throw at program end ------------------------------------------
+
+/// Buggy by design: issues sends and then immediately reports done, leaving
+/// the messages staged. Before the flush-or-throw guard these silently
+/// leaked into the next program run on the same network.
+class LeakyProgram final : public NodeProgram {
+ public:
+  explicit LeakyProgram(Vertex from) : from_(from) {}
+  void init(Outbox& out) override { out.broadcast(from_, Message::of(7)); }
+  void on_round(std::int64_t, Vertex, std::span<const Received>,
+                Outbox&) override {}
+  bool done(std::int64_t) const override { return true; }  // trips after sends
+
+ private:
+  Vertex from_;
+};
+
+/// Counts the messages it receives; used to prove no cross-program leak.
+class CountingProgram final : public NodeProgram {
+ public:
+  explicit CountingProgram(std::int64_t rounds) : rounds_(rounds) {}
+  void init(Outbox&) override {}
+  void on_round(std::int64_t, Vertex, std::span<const Received> inbox,
+                Outbox&) override {
+    received_ += static_cast<std::int64_t>(inbox.size());
+  }
+  bool done(std::int64_t next_round) const override {
+    return next_round >= rounds_;
+  }
+  std::int64_t received() const noexcept { return received_; }
+
+ private:
+  std::int64_t rounds_;
+  std::int64_t received_ = 0;
+};
+
+TEST(Scheduler, ThrowsWhenProgramEndsWithStagedMessages) {
+  const Graph g = gen_path(4);
+  Network net(g);
+  LeakyProgram leaky(1);
+  Scheduler scheduler(net);
+  EXPECT_THROW(scheduler.run(leaky), CongestViolation);
+}
+
+TEST(Scheduler, BackToBackProgramsDoNotLeak) {
+  // Regression for the staged-message leak: a leaky first program must not
+  // hand its messages to the second program on the same network. The guard
+  // throws at the first program's end; the second program then observes a
+  // clean network.
+  const Graph g = gen_path(4);
+  Network net(g);
+  Scheduler scheduler(net);
+
+  LeakyProgram leaky(1);
+  EXPECT_THROW(scheduler.run(leaky), CongestViolation);
+
+  // Well-behaved back-to-back pair: the second sees only its own traffic.
+  net.advance_round();  // clear the leaked staging (delivers + discards)
+  CountingProgram first(2);
+  CountingProgram second(2);
+  scheduler.run(first);
+  const std::int64_t before = net.stats().messages;
+  scheduler.run(second);
+  EXPECT_EQ(first.received(), 0);
+  EXPECT_EQ(second.received(), 0);
+  EXPECT_EQ(net.stats().messages, before);
+}
+
+// --- PipelinedQueues ---------------------------------------------------------
+
+TEST(PipelinedQueues, DefersSecondItemPerDestinationWithinARound) {
+  PipelinedQueues<int> q(4);
+  q.push(0, 1, 10);
+  q.push(0, 1, 11);  // same destination: must wait a round
+  q.push(0, 2, 12);
+  q.push(3, 1, 13);  // different source, same destination: fine same round
+  EXPECT_EQ(q.queued(), 4);
+
+  std::vector<std::tuple<Vertex, Vertex, int>> sent;
+  q.drain_round([&](Vertex f, Vertex t, int p) { sent.push_back({f, t, p}); });
+  EXPECT_EQ(sent, (std::vector<std::tuple<Vertex, Vertex, int>>{
+                      {0, 1, 10}, {0, 2, 12}, {3, 1, 13}}));
+  EXPECT_EQ(q.queued(), 1);
+
+  sent.clear();
+  q.drain_round([&](Vertex f, Vertex t, int p) { sent.push_back({f, t, p}); });
+  EXPECT_EQ(sent, (std::vector<std::tuple<Vertex, Vertex, int>>{{0, 1, 11}}));
+  EXPECT_EQ(q.queued(), 0);
+}
+
+TEST(PipelinedQueues, StarGraphHubDrainStress) {
+  // A hub with `leaves` queued items per distinct leaf, `repeat` deep. The
+  // old drain_round did a linear membership scan over the destinations
+  // already served (O(deg^2) per round on a hub); the stamp-based drain is
+  // O(items). At this size the quadratic version burns hundreds of
+  // millions of comparisons — the stress would have caught it.
+  constexpr Vertex kLeaves = 20000;
+  constexpr int kRepeat = 3;
+  PipelinedQueues<int> q(kLeaves + 1);
+  const Vertex hub = 0;
+  for (int r = 0; r < kRepeat; ++r) {
+    for (Vertex leaf = 1; leaf <= kLeaves; ++leaf) {
+      q.push(hub, leaf, r);
+    }
+  }
+  EXPECT_EQ(q.queued(), static_cast<std::int64_t>(kLeaves) * kRepeat);
+
+  // Drains in exactly kRepeat rounds: every leaf is served once per round.
+  for (int round = 0; round < kRepeat; ++round) {
+    std::vector<std::int64_t> hits(static_cast<std::size_t>(kLeaves) + 1, 0);
+    std::int64_t sent = 0;
+    const bool any = q.drain_round([&](Vertex f, Vertex t, int p) {
+      EXPECT_EQ(f, hub);
+      EXPECT_EQ(p, round);  // FIFO per destination
+      ++hits[static_cast<std::size_t>(t)];
+      ++sent;
+    });
+    EXPECT_TRUE(any);
+    EXPECT_EQ(sent, static_cast<std::int64_t>(kLeaves));
+    for (Vertex leaf = 1; leaf <= kLeaves; ++leaf) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(leaf)], 1);  // per-edge cap
+    }
+  }
+  EXPECT_EQ(q.queued(), 0);
+}
+
+// --- construction guards -----------------------------------------------------
+
+TEST(Network, RejectsEmptyGraph) {
+  const Graph empty(0, {});
+  EXPECT_THROW(Network net(empty), std::invalid_argument);
 }
 
 }  // namespace

@@ -49,6 +49,22 @@ TEST(Graph, EmptyGraph) {
   EXPECT_EQ(g.num_edges(), 0);
 }
 
+TEST(Graph, CsrOffsetsMatchDegrees) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(2, 4);
+  const Graph g = b.build();
+  EXPECT_EQ(g.csr_offset(0), 0);
+  std::int64_t running = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.csr_offset(v), running);
+    running += g.degree(v);
+  }
+  // csr_offset is valid at n and equals the total adjacency length 2|E|.
+  EXPECT_EQ(g.csr_offset(g.num_vertices()), 2 * g.num_edges());
+}
+
 TEST(Graph, SingleVertex) {
   const Graph g = GraphBuilder(1).build();
   EXPECT_EQ(g.num_vertices(), 1);

@@ -1,0 +1,84 @@
+// Tests for the persistent thread pool backing the parallel CONGEST
+// scheduler: full index coverage, load-balancing across reuse, exception
+// propagation, and degenerate widths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace usne::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr int kTasks = 2000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.parallel_for(kTasks, [&](int i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(batch + 1, [&](int i) { sum += i + 1; });
+  }
+  // sum over batches of 1 + 2 + ... + (batch+1).
+  std::int64_t expected = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    expected += static_cast<std::int64_t>(batch + 1) * (batch + 2) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, BatchesSmallerThanWidth) {
+  ThreadPool pool(8);
+  std::atomic<int> hits{0};
+  pool.parallel_for(2, [&](int) { ++hits; });
+  EXPECT_EQ(hits.load(), 2);
+  pool.parallel_for(0, [&](int) { ++hits; });  // no-op
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(ThreadPool, WidthOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](int i) { order.push_back(i); });  // single lane
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ClampsNonPositiveWidth) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::atomic<int> hits{0};
+  pool.parallel_for(3, [&](int) { ++hits; });
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](int i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                          ++completed;
+                        }),
+      std::runtime_error);
+  // Remaining indices still ran to completion.
+  EXPECT_EQ(completed.load(), 99);
+  // The pool stays usable afterwards.
+  std::atomic<int> hits{0};
+  pool.parallel_for(10, [&](int) { ++hits; });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+}  // namespace
+}  // namespace usne::util
