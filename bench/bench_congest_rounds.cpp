@@ -1,9 +1,14 @@
 // Experiment E4 — CONGEST round complexity (paper Corollary 3.11/3.12).
 //
-// Claim: the distributed deterministic construction runs in O(beta * n^rho)
-// rounds, never violates the CONGEST message caps (enforced by the
-// simulator — a violation throws), and leaves BOTH endpoints of every
-// emulator edge aware of it.
+// Claim: the distributed deterministic constructions run in O(beta * n^rho)
+// rounds, never violate the CONGEST message caps (enforced by the
+// simulator — a violation throws), and the emulator leaves BOTH endpoints
+// of every edge aware of it.
+//
+// Every row dispatches through the unified registry (api/build.hpp): the
+// workload table names an algorithm ("emulator_congest", "spanner_congest",
+// "spanner_congest_em19") and usne::build() does the rest — params, options
+// and metering are uniform across variants.
 //
 // Output: measured rounds (with per-step breakdown) against the schedule
 // budget, message totals, endpoint-consistency verdicts, and size bounds.
@@ -13,7 +18,8 @@
 // hard guarantee, not a hope) and reports the wall-clock speedup.
 // With `--json FILE`, the per-row model counts and the timing records are
 // written as JSON so CI (scripts/check.sh) can track the perf trajectory
-// across PRs and fail on serial/parallel divergence.
+// across PRs, fail on serial/parallel divergence, and diff the usne_run
+// registry smoke against the same rows.
 
 #include <cmath>
 #include <cstring>
@@ -22,8 +28,8 @@
 #include <string>
 #include <thread>
 
+#include "api/build.hpp"
 #include "bench_common.hpp"
-#include "core/emulator_distributed.hpp"
 #include "core/params.hpp"
 #include "util/math.hpp"
 
@@ -45,11 +51,9 @@ std::int64_t schedule_budget(const DistributedParams& p) {
   return budget;
 }
 
-bool same_counts(const DistributedBuildResult& a,
-                 const DistributedBuildResult& b) {
+bool same_counts(const BuildOutput& a, const BuildOutput& b) {
   return a.net.rounds == b.net.rounds && a.net.messages == b.net.messages &&
-         a.net.words == b.net.words &&
-         a.base.h.num_edges() == b.base.h.num_edges();
+         a.net.words == b.net.words && a.h().num_edges() == b.h().num_edges();
 }
 
 }  // namespace
@@ -93,47 +97,64 @@ int main(int argc, char** argv) {
   bool diverged = false;
 
   bench::banner("E4  bench_congest_rounds",
-                "Corollary 3.11: deterministic CONGEST construction in "
+                "Corollary 3.11: deterministic CONGEST constructions in "
                 "O(beta * n^rho) rounds; both endpoints know every edge; "
                 "zero cap violations.");
   Timer total;
 
-  Table table({"family", "n", "kappa", "rho", "rounds", "budget",
+  Table table({"algo", "family", "n", "kappa", "rho", "rounds", "budget",
                "rounds/budget", "messages", "|H|", "size_ok", "endpoints_ok",
                "wall_s", "speedup"});
   const double eps = 0.4;
   struct Row {
+    const char* algo;
     const char* family;
     Vertex n;
     int kappa;
     double rho;
   };
-  for (const Row& row : {Row{"er", 128, 4, 0.49}, Row{"er", 256, 4, 0.49},
-                         Row{"er", 512, 4, 0.49}, Row{"er", 1024, 4, 0.45},
-                         Row{"torus", 256, 4, 0.45}, Row{"ba", 256, 4, 0.49},
-                         Row{"caveman", 256, 4, 0.49},
-                         Row{"er", 512, 8, 0.4}}) {
+  // The emulator rows are the cross-PR perf trajectory of record
+  // (BENCH_congest.json); the spanner rows meter the §4 CONGEST variants
+  // through the same registry dispatch.
+  for (const Row& row :
+       {Row{"emulator_congest", "er", 128, 4, 0.49},
+        Row{"emulator_congest", "er", 256, 4, 0.49},
+        Row{"emulator_congest", "er", 512, 4, 0.49},
+        Row{"emulator_congest", "er", 1024, 4, 0.45},
+        Row{"emulator_congest", "torus", 256, 4, 0.45},
+        Row{"emulator_congest", "ba", 256, 4, 0.49},
+        Row{"emulator_congest", "caveman", 256, 4, 0.49},
+        Row{"emulator_congest", "er", 512, 8, 0.4},
+        Row{"spanner_congest", "er", 128, 4, 0.49},
+        Row{"spanner_congest", "er", 256, 4, 0.49},
+        Row{"spanner_congest_em19", "er", 128, 4, 0.49},
+        Row{"spanner_congest_em19", "er", 256, 4, 0.49}}) {
     const Graph g = gen_family(row.family, row.n, 2024);
-    const auto params =
-        DistributedParams::compute(g.num_vertices(), row.kappa, row.rho, eps);
-    DistributedOptions options;
-    options.keep_audit_data = false;
+    const bool is_emulator = std::strcmp(row.algo, "emulator_congest") == 0;
+
+    BuildSpec spec;
+    spec.algorithm = row.algo;
+    spec.params.kappa = row.kappa;
+    spec.params.eps = eps;
+    spec.params.rho = row.rho;
+    spec.exec.keep_audit_data = false;
 
     // Serial reference run (the model counts of record).
     Timer serial_timer;
-    options.num_threads = 1;
-    const auto r = build_emulator_distributed(g, params, options);
+    spec.exec.num_threads = 1;
+    const auto r = build(g, spec);
     const double serial_s = serial_timer.seconds();
 
     // Parallel run: counts must be bit-identical; wall-clock may improve.
     double parallel_s = serial_s;
     if (threads > 1) {
       Timer parallel_timer;
-      options.num_threads = threads;
-      const auto rp = build_emulator_distributed(g, params, options);
+      spec.exec.num_threads = threads;
+      const auto rp = build(g, spec);
       parallel_s = parallel_timer.seconds();
       if (!same_counts(r, rp)) {
-        std::cerr << "DIVERGENCE: " << row.family << " n=" << row.n
+        std::cerr << "DIVERGENCE: " << row.algo << " " << row.family
+                  << " n=" << row.n
                   << " model counts differ between --threads 1 and --threads "
                   << threads << "\n";
         diverged = true;
@@ -141,35 +162,51 @@ int main(int argc, char** argv) {
     }
     const double speedup = parallel_s > 0 ? serial_s / parallel_s : 1.0;
 
-    const std::int64_t budget = schedule_budget(params);
+    // The fixed O(beta * n^rho) schedule budget applies to the emulator
+    // construction; the spanner variants run their own (smaller) schedules.
+    const std::int64_t budget =
+        is_emulator ? schedule_budget(DistributedParams::compute(
+                          g.num_vertices(), row.kappa, row.rho, eps))
+                    : 0;
     const bool size_ok =
-        r.base.h.num_edges() <= size_bound_edges(g.num_vertices(), row.kappa);
+        !is_emulator ||
+        r.h().num_edges() <= size_bound_edges(g.num_vertices(), row.kappa);
 
-    table.row()
-        .add(row.family)
-        .add(static_cast<std::int64_t>(g.num_vertices()))
-        .add(row.kappa)
-        .add(row.rho, 2)
-        .add(r.net.rounds)
-        .add(budget)
-        .add(static_cast<double>(r.net.rounds) / static_cast<double>(budget), 3)
-        .add(r.net.messages)
-        .add(r.base.h.num_edges())
-        .add(size_ok ? "yes" : "NO")
-        .add(r.endpoints_consistent() ? "yes" : "NO")
+    auto& cells = table.row()
+                      .add(row.algo)
+                      .add(row.family)
+                      .add(static_cast<std::int64_t>(g.num_vertices()))
+                      .add(row.kappa)
+                      .add(row.rho, 2)
+                      .add(r.net.rounds);
+    if (is_emulator) {
+      cells.add(budget).add(
+          static_cast<double>(r.net.rounds) / static_cast<double>(budget), 3);
+    } else {
+      cells.add("-").add("-");
+    }
+    cells.add(r.net.messages)
+        .add(r.h().num_edges())
+        .add(is_emulator ? (size_ok ? "yes" : "NO") : "-")
+        // Only the emulator carries per-node local knowledge to verify;
+        // spanner edges are the endpoints' own incident graph edges, so a
+        // "yes" there would be vacuous — print "-" instead.
+        .add(r.local.empty() ? "-" : (r.endpoints_consistent() ? "yes" : "NO"))
         .add(serial_s, 3)
         .add(threads > 1 ? speedup : 1.0, 2);
 
     if (!json.empty()) json += ",\n";
-    json += "    {\"family\": \"" + std::string(row.family) +
+    json += "    {\"algo\": \"" + std::string(row.algo) + "\", \"family\": \"" +
+            std::string(row.family) +
             "\", \"n\": " + std::to_string(g.num_vertices()) +
             ", \"kappa\": " + std::to_string(row.kappa) +
             ", \"rounds\": " + std::to_string(r.net.rounds) +
             ", \"messages\": " + std::to_string(r.net.messages) +
             ", \"words\": " + std::to_string(r.net.words) +
-            ", \"edges\": " + std::to_string(r.base.h.num_edges()) + "}";
+            ", \"edges\": " + std::to_string(r.h().num_edges()) + "}";
     if (!json_timing.empty()) json_timing += ",\n";
-    json_timing += "    {\"family\": \"" + std::string(row.family) +
+    json_timing += "    {\"algo\": \"" + std::string(row.algo) +
+                   "\", \"family\": \"" + std::string(row.family) +
                    "\", \"n\": " + std::to_string(g.num_vertices()) +
                    ", \"wall_s_serial\": " + format_double(serial_s, 4) +
                    ", \"wall_s_parallel\": " + format_double(parallel_s, 4) +
@@ -190,13 +227,14 @@ int main(int argc, char** argv) {
   // Per-step breakdown for one representative run.
   {
     const Graph g = gen_family("er", 512, 2024);
-    const auto params = DistributedParams::compute(g.num_vertices(), 4, 0.49, eps);
-    DistributedOptions options;
-    options.keep_audit_data = false;
-    const auto r = build_emulator_distributed(g, params, options);
+    BuildSpec spec;
+    spec.algorithm = "emulator_congest";
+    spec.params = {0, 4, eps, 0.49, false};
+    spec.exec.keep_audit_data = false;
+    const auto r = build(g, spec);
     Table steps({"phase", "|P_i|", "popular", "|U_i|", "detect", "ruling",
                  "forest", "backtrack", "interconnect", "total"});
-    for (const auto& p : r.base.phases) {
+    for (const auto& p : r.result.phases) {
       steps.row()
           .add(p.phase)
           .add(p.clusters_in)
@@ -212,8 +250,8 @@ int main(int argc, char** argv) {
     steps.print(std::cout, "E4b: per-phase round breakdown (er, n=512)");
   }
 
-  bench::note("Interpretation: rounds/budget < 1 in every row shows the "
-              "fixed O(beta*n^rho) schedule is respected; 'endpoints_ok' "
+  bench::note("Interpretation: rounds/budget < 1 in every emulator row shows "
+              "the fixed O(beta*n^rho) schedule is respected; 'endpoints_ok' "
               "verifies the paper's distinctive emulator obligation "
               "(both endpoints of every edge know it). Any cap violation "
               "would have aborted the run. With --threads N the same model "

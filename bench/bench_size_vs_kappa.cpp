@@ -5,23 +5,35 @@
 // constructions pay a constant c >= 2 at their sparsest ([EP01] via its
 // ground partition; [TZ06]/[EN17a] via randomized per-phase accounting).
 //
+// All four constructions are dispatched through the unified registry
+// (api/build.hpp): one BuildSpec per column, no per-algorithm glue.
+//
 // Output: one table per graph family; columns are edge counts of each
 // construction and the ratio |H| / n^(1+1/kappa) (ours must be <= 1).
 
 #include <cmath>
 #include <iostream>
 
-#include "baselines/en17_emulator.hpp"
-#include "baselines/ep01_emulator.hpp"
-#include "baselines/tz06_emulator.hpp"
+#include "api/build.hpp"
 #include "bench_common.hpp"
-#include "core/emulator_centralized.hpp"
-#include "core/params.hpp"
 #include "eval/metrics.hpp"
 #include "util/math.hpp"
 
 namespace usne {
 namespace {
+
+/// Builds `algo` on g via the registry. `seed_offset` keeps the randomized
+/// baselines on the exact seeds the experiment has always used.
+BuildOutput build_one(const Graph& g, const char* algo, int kappa, double eps,
+                      std::uint64_t seed, std::uint64_t seed_offset) {
+  BuildSpec spec;
+  spec.algorithm = algo;
+  spec.params.kappa = kappa;
+  spec.params.eps = eps;
+  spec.exec.keep_audit_data = false;
+  spec.exec.seed = seed + seed_offset;
+  return build(g, spec);
+}
 
 void run_family(const std::string& family, Vertex n, std::uint64_t seed) {
   const Graph g = gen_family(family, n, seed);
@@ -32,22 +44,17 @@ void run_family(const std::string& family, Vertex n, std::uint64_t seed) {
                "TZ06", "EN17a", "|E(G)|"});
   const int log_n = static_cast<int>(std::ceil(std::log2(real_n)));
   for (const int kappa : {2, 3, 4, 8, 16, log_n}) {
-    const auto params = CentralizedParams::compute(real_n, kappa, eps);
-    CentralizedOptions options;
-    options.keep_audit_data = false;
-    const auto ours = build_emulator_centralized(g, params, options);
-    const auto ep01 = build_emulator_ep01(g, params);
-    const auto tz06 = build_emulator_tz06(g, real_n, kappa, seed + 1);
-    const auto en17 = build_emulator_en17(g, real_n, kappa, eps, seed + 2);
+    const BuildOutput ours =
+        build_one(g, "emulator_centralized", kappa, eps, seed, 0);
 
     table.row()
         .add(kappa)
         .add(size_bound_edges(real_n, kappa))
-        .add(ours.h.num_edges())
-        .add(size_bound_ratio(ours.h, real_n, kappa), 4)
-        .add(ep01.h.num_edges())
-        .add(tz06.h.num_edges())
-        .add(en17.h.num_edges())
+        .add(ours.h().num_edges())
+        .add(size_bound_ratio(ours.h(), real_n, kappa), 4)
+        .add(build_one(g, "emulator_ep01", kappa, eps, seed, 0).h().num_edges())
+        .add(build_one(g, "emulator_tz06", kappa, eps, seed, 1).h().num_edges())
+        .add(build_one(g, "emulator_en17", kappa, eps, seed, 2).h().num_edges())
         .add(g.num_edges());
   }
   table.print(std::cout, "E1: " + family + " (n=" + std::to_string(real_n) +

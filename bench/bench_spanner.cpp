@@ -4,17 +4,36 @@
 // O(n^(1+1/kappa)) edges, improving [EM19]'s O(beta * n^(1+1/kappa)).
 // At their sparsest the new spanners have O(n log log n) edges.
 //
+// Both variants (and their CONGEST executions) dispatch through the unified
+// registry (api/build.hpp) — the row loop names algorithms, usne::build()
+// does the rest.
+//
 // Output: edge counts of both spanners across n and kappa; the gap must be
 // >= 0 everywhere and widen with n.
 
 #include <cmath>
 #include <iostream>
 
+#include "api/build.hpp"
 #include "bench_common.hpp"
-#include "core/params.hpp"
 #include "core/spanner.hpp"
-#include "core/spanner_distributed.hpp"
 #include "util/math.hpp"
+
+namespace usne {
+namespace {
+
+BuildSpec spanner_spec(const char* algo, int kappa, double rho, double eps) {
+  BuildSpec spec;
+  spec.algorithm = algo;
+  spec.params.kappa = kappa;
+  spec.params.rho = rho;
+  spec.params.eps = eps;
+  spec.exec.keep_audit_data = false;
+  return spec;
+}
+
+}  // namespace
+}  // namespace usne
 
 int main() {
   using namespace usne;
@@ -26,8 +45,6 @@ int main() {
   const double eps = 0.25;
   Table table({"n", "kappa", "rho", "|E(G)|", "ours", "EM19", "EM19-ours",
                "bound n^(1+1/k)", "n*loglog(n)"});
-  SpannerOptions options;
-  options.keep_audit_data = false;
 
   std::int64_t prev_gap = -1;
   bool gap_nonneg = true;
@@ -35,11 +52,9 @@ int main() {
     const int kappa = 8;
     const double rho = 0.4;
     const Graph g = gen_connected_gnm(n, 4L * n, 31 + n);
-    const auto ours_p = SpannerParams::compute(n, kappa, rho, eps);
-    const auto em19_p = DistributedParams::compute(n, kappa, rho, eps);
-    const auto ours = build_spanner(g, ours_p, options);
-    const auto em19 = build_spanner_em19(g, em19_p, options);
-    const std::int64_t gap = em19.h.num_edges() - ours.h.num_edges();
+    const auto ours = build(g, spanner_spec("spanner", kappa, rho, eps));
+    const auto em19 = build(g, spanner_spec("spanner_em19", kappa, rho, eps));
+    const std::int64_t gap = em19.h().num_edges() - ours.h().num_edges();
     if (gap < 0) gap_nonneg = false;
     prev_gap = gap;
     const double loglog = std::log2(std::log2(static_cast<double>(n)));
@@ -48,8 +63,8 @@ int main() {
         .add(kappa)
         .add(rho, 2)
         .add(g.num_edges())
-        .add(ours.h.num_edges())
-        .add(em19.h.num_edges())
+        .add(ours.h().num_edges())
+        .add(em19.h().num_edges())
         .add(gap)
         .add(size_bound_edges(n, kappa))
         .add(static_cast<std::int64_t>(n * loglog));
@@ -63,16 +78,14 @@ int main() {
   const Graph g = gen_connected_gnm(n, 4L * n, 7);
   for (const int kappa : {4, 8, 16, 24}) {
     const double rho = std::max(0.3, 1.5 / kappa);
-    const auto ours_p = SpannerParams::compute(n, kappa, rho, eps);
-    const auto em19_p = DistributedParams::compute(n, kappa, rho, eps);
-    const auto ours = build_spanner(g, ours_p, options);
-    const auto em19 = build_spanner_em19(g, em19_p, options);
+    const auto ours = build(g, spanner_spec("spanner", kappa, rho, eps));
+    const auto em19 = build(g, spanner_spec("spanner_em19", kappa, rho, eps));
     ksweep.row()
         .add(kappa)
-        .add(ours.h.num_edges())
-        .add(em19.h.num_edges())
+        .add(ours.h().num_edges())
+        .add(em19.h().num_edges())
         .add(size_bound_edges(n, kappa))
-        .add(ours.h.num_edges() <= em19.h.num_edges() ? "yes" : "NO");
+        .add(ours.h().num_edges() <= em19.h().num_edges() ? "yes" : "NO");
   }
   ksweep.print(std::cout, "E5b: kappa sweep at n=4096");
 
@@ -82,21 +95,19 @@ int main() {
                    "EM19 |H|", "subgraph"});
   for (const char* family : {"er", "caveman", "torus"}) {
     const Graph g = gen_family(family, 256, 77);
-    const auto ours_p = SpannerParams::compute(g.num_vertices(), 4, 0.45, 0.4);
-    const auto em19_p =
-        DistributedParams::compute(g.num_vertices(), 4, 0.45, 0.4);
-    const auto ours = build_spanner_congest(g, ours_p, false);
-    const auto em19 = build_spanner_congest_em19(g, em19_p, false);
+    const auto ours =
+        build(g, spanner_spec("spanner_congest", 4, 0.45, 0.4));
+    const auto em19 =
+        build(g, spanner_spec("spanner_congest_em19", 4, 0.45, 0.4));
     congest_t.row()
         .add(family)
         .add(static_cast<std::int64_t>(g.num_vertices()))
         .add(ours.net.rounds)
         .add(em19.net.rounds)
-        .add(ours.base.h.num_edges())
-        .add(em19.base.h.num_edges())
-        .add(is_subgraph(ours.base.h, g) && is_subgraph(em19.base.h, g)
-                 ? "yes"
-                 : "NO");
+        .add(ours.h().num_edges())
+        .add(em19.h().num_edges())
+        .add(is_subgraph(ours.h(), g) && is_subgraph(em19.h(), g) ? "yes"
+                                                                  : "NO");
   }
   congest_t.print(std::cout, "E5c: CONGEST execution (rounds metered, caps "
                              "enforced), n=256");

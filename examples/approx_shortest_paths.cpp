@@ -11,8 +11,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/emulator_fast.hpp"
-#include "core/params.hpp"
+#include "api/build.hpp"
 #include "graph/generators.hpp"
 #include "path/bfs.hpp"
 #include "path/dijkstra.hpp"
@@ -42,15 +41,16 @@ int main(int argc, char** argv) {
       gen_connected_gnm(n, static_cast<std::int64_t>(n) * avg_deg / 2, seed);
   std::cout << "network: n = " << n << ", m = " << g.num_edges() << "\n";
 
-  // Preprocess: one ultra-sparse emulator.
+  // Preprocess: one ultra-sparse emulator through the unified API.
   const double log_n = std::log2(static_cast<double>(n));
   const int kappa = static_cast<int>(std::ceil(2 * log_n));
-  const auto params = DistributedParams::compute(n, kappa, 0.3, 0.25);
+  BuildSpec spec;
+  spec.algorithm = "emulator_fast";
+  spec.params = {0, kappa, 0.25, 0.3, false};
+  spec.exec.keep_audit_data = false;
   Timer build_timer;
-  FastOptions options;
-  options.keep_audit_data = false;
-  const auto emulator = build_emulator_fast(g, params, options);
-  std::cout << "preprocess: |H| = " << emulator.h.num_edges() << " edges in "
+  const BuildOutput emulator = build(g, spec);
+  std::cout << "preprocess: |H| = " << emulator.h().num_edges() << " edges in "
             << format_double(build_timer.seconds(), 2) << "s  (kappa = "
             << kappa << ")\n\n";
 
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     const Dist dg = bfs_distances(g, s)[static_cast<std::size_t>(t)];
     const double g_us = tg.seconds() * 1e6;
     Timer th;
-    const Dist dh = dial_sssp(emulator.h, s)[static_cast<std::size_t>(t)];
+    const Dist dh = dial_sssp(emulator.h(), s)[static_cast<std::size_t>(t)];
     const double h_us = th.seconds() * 1e6;
     total_g_us += g_us;
     total_h_us += h_us;
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
             << format_double(total_h_us / queries, 0) << "us  (speedup "
             << format_double(total_g_us / total_h_us, 1) << "x)\n"
             << "worst additive surplus observed: " << worst_surplus
-            << "  (guaranteed <= " << params.schedule.beta_bound()
+            << "  (guaranteed <= " << emulator.beta
             << " plus (alpha-1)*d_G)\n";
   return 0;
 }

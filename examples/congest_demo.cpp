@@ -1,12 +1,14 @@
 // Distributed construction demo (paper §3): runs the deterministic CONGEST
-// algorithm on the simulator, printing the round/message economics and
-// verifying the both-endpoints-know property.
+// algorithm on the simulator through the unified API ("emulator_congest"),
+// printing the round/message economics and verifying the
+// both-endpoints-know property.
 //
 //   ./congest_demo [--n 256] [--family torus] [--kappa 4] [--rho 0.45]
+//                  [--threads 1]
 
 #include <iostream>
 
-#include "core/emulator_distributed.hpp"
+#include "api/build.hpp"
 #include "core/params.hpp"
 #include "eval/stretch.hpp"
 #include "graph/generators.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
            {"family", "graph family (default torus; see generators.hpp)"},
            {"kappa", "sparsity parameter (default 4)"},
            {"rho", "time exponent in (1/kappa, 1/2) (default 0.45)"},
+           {"threads", "scheduler lanes, 0 = hardware (default 1)"},
            {"seed", "generator seed (default 3)"}});
   if (cli.help_requested() || !cli.errors().empty()) {
     for (const auto& e : cli.errors()) std::cerr << "error: " << e << '\n';
@@ -29,22 +32,25 @@ int main(int argc, char** argv) {
   }
   const Vertex n = static_cast<Vertex>(cli.get_int("n", 256));
   const std::string family = cli.get("family", "torus");
-  const int kappa = static_cast<int>(cli.get_int("kappa", 4));
-  const double rho = cli.get_double("rho", 0.45);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
 
   const Graph g = gen_family(family, n, seed);
-  const auto params =
-      DistributedParams::compute(g.num_vertices(), kappa, rho, 0.4);
+
+  BuildSpec spec;
+  spec.algorithm = "emulator_congest";
+  spec.params.kappa = static_cast<int>(cli.get_int("kappa", 4));
+  spec.params.rho = cli.get_double("rho", 0.45);
+  spec.params.eps = 0.4;
+  spec.exec.num_threads = static_cast<int>(cli.get_int("threads", 1));
+
+  const BuildOutput result = build(g, spec);
   std::cout << "graph:  " << family << ", n = " << g.num_vertices()
             << ", m = " << g.num_edges() << "\n"
-            << "params: " << params.describe() << "\n\n";
-
-  const DistributedBuildResult result = build_emulator_distributed(g, params);
+            << "params: " << result.params_description << "\n\n";
 
   Table rounds({"phase", "|P_i|", "popular", "|U_i|", "detect", "ruling",
                 "forest", "backtrack", "interconnect"});
-  for (const auto& p : result.base.phases) {
+  for (const auto& p : result.result.phases) {
     rounds.row()
         .add(p.phase)
         .add(p.clusters_in)
@@ -61,16 +67,16 @@ int main(int argc, char** argv) {
   std::cout << "totals: rounds = " << result.net.rounds
             << ", messages = " << result.net.messages
             << ", words = " << result.net.words << "\n"
-            << "|H| = " << result.base.h.num_edges() << " (bound "
-            << emulator_size_bound(g.num_vertices(), kappa) << ")\n";
+            << "|H| = " << result.h().num_edges() << " (bound "
+            << emulator_size_bound(g.num_vertices(), spec.params.kappa)
+            << ")\n";
 
   const bool endpoints = result.endpoints_consistent();
   std::cout << "both endpoints know every emulator edge: "
             << (endpoints ? "YES" : "NO") << "\n";
 
-  const auto stretch = evaluate_stretch_sampled(
-      g, result.base.h, params.schedule.alpha_bound(),
-      params.schedule.beta_bound(), 8, seed);
+  const auto stretch = evaluate_stretch_sampled(g, result.h(), result.alpha,
+                                                result.beta, 8, seed);
   std::cout << "stretch violations: " << stretch.violations << " over "
             << stretch.pairs << " sampled pairs\n";
   std::cout << "\nEvery message respected the CONGEST caps (a violation "

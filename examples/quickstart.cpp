@@ -1,13 +1,15 @@
-// Quickstart: build a near-additive emulator in ~20 lines.
+// Quickstart: build a near-additive emulator in ~20 lines through the
+// unified construction API (api/build.hpp).
 //
 //   ./quickstart [--n 4096] [--kappa 8] [--eps 0.25] [--seed 1]
 //
-// Generates a random graph, runs the paper's Algorithm 1, and prints the
-// size and stretch guarantees next to measured values.
+// Generates a random graph, runs the paper's Algorithm 1
+// ("emulator_centralized" in the registry), and prints the size and stretch
+// guarantees next to measured values.
 
 #include <iostream>
 
-#include "core/emulator_centralized.hpp"
+#include "api/build.hpp"
 #include "core/params.hpp"
 #include "eval/stretch.hpp"
 #include "graph/generators.hpp"
@@ -29,35 +31,35 @@ int main(int argc, char** argv) {
 
   const Vertex n = static_cast<Vertex>(cli.get_int("n", 4096));
   const int kappa = static_cast<int>(cli.get_int("kappa", 8));
-  const double eps = cli.get_double("eps", 0.25);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
   // 1. An input graph.
   const Graph g = gen_connected_gnm(n, 4L * n, seed);
   std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges() << "\n";
 
-  // 2. Parameters: the phase schedule and the (alpha, beta) guarantee.
-  const auto params = CentralizedParams::compute(n, kappa, eps);
-  std::cout << "params: " << params.describe() << "\n";
+  // 2. One BuildSpec: the algorithm name plus the unified parameters.
+  BuildSpec spec;
+  spec.algorithm = "emulator_centralized";
+  spec.params.kappa = kappa;
+  spec.params.eps = cli.get_double("eps", 0.25);
 
   // 3. Build (Algorithm 1 of the paper).
-  const BuildResult result = build_emulator_centralized(g, params);
-  std::cout << "emulator: " << result.summary() << "\n";
+  const BuildOutput result = build(g, spec);
+  std::cout << "params: " << result.params_description << "\n";
+  std::cout << "emulator: " << result.result.summary() << "\n";
   std::cout << "size bound n^(1+1/kappa) = " << emulator_size_bound(n, kappa)
-            << "  ->  |H| = " << result.h.num_edges() << "  (ratio "
-            << static_cast<double>(result.h.num_edges()) /
+            << "  ->  |H| = " << result.h().num_edges() << "  (ratio "
+            << static_cast<double>(result.h().num_edges()) /
                    static_cast<double>(emulator_size_bound(n, kappa))
             << ")\n";
 
-  // 4. Check the stretch on a sample of pairs.
-  const auto stretch = evaluate_stretch_sampled(
-      g, result.h, params.schedule.alpha_bound(), params.schedule.beta_bound(),
-      16, seed);
+  // 4. Check the computed (alpha, beta) guarantee on a sample of pairs.
+  const auto stretch = evaluate_stretch_sampled(g, result.h(), result.alpha,
+                                                result.beta, 16, seed);
   std::cout << "stretch over " << stretch.pairs
             << " pairs: max multiplicative " << stretch.max_mult
             << ", max additive " << stretch.max_additive << " (budget alpha="
-            << params.schedule.alpha_bound()
-            << ", beta=" << params.schedule.beta_bound() << ")\n"
+            << result.alpha << ", beta=" << result.beta << ")\n"
             << "violations: " << stretch.violations
             << "  underruns: " << stretch.underruns << "\n";
   return stretch.ok() ? 0 : 1;

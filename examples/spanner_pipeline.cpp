@@ -3,14 +3,15 @@
 // A spanner is a subgraph — its edges physically exist, so it can be
 // deployed as an overlay/backbone (e.g. keeping only O(n^(1+1/kappa)) links
 // of a dense data-center fabric); an emulator allows arbitrary weighted
-// shortcut edges and gets strictly sparser. This example builds both and
-// compares size, stretch, and the EM19 baseline.
+// shortcut edges and gets strictly sparser. This example builds all three
+// constructions through the unified registry — one BuildSpec each — and
+// compares size and stretch.
 //
 //   ./spanner_pipeline [--n 4096] [--kappa 8] [--rho 0.4]
 
 #include <iostream>
 
-#include "core/emulator_fast.hpp"
+#include "api/build.hpp"
 #include "core/params.hpp"
 #include "core/spanner.hpp"
 #include "eval/stretch.hpp"
@@ -32,65 +33,39 @@ int main(int argc, char** argv) {
     return cli.help_requested() ? 0 : 1;
   }
   const Vertex n = static_cast<Vertex>(cli.get_int("n", 4096));
-  const int kappa = static_cast<int>(cli.get_int("kappa", 8));
-  const double rho = cli.get_double("rho", 0.4);
-  const double eps = 0.25;
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
 
   const Graph g = gen_connected_gnm(n, 6L * n, seed);
   std::cout << "input: n = " << n << ", m = " << g.num_edges() << "\n\n";
 
-  const auto sp_params = SpannerParams::compute(n, kappa, rho, eps);
-  const auto em_params = DistributedParams::compute(n, kappa, rho, eps);
-
-  SpannerOptions sopt;
-  sopt.keep_audit_data = false;
-  FastOptions fopt;
-  fopt.keep_audit_data = false;
-
-  const auto spanner = build_spanner(g, sp_params, sopt);
-  const auto em19 = build_spanner_em19(g, em_params, sopt);
-  const auto emulator = build_emulator_fast(g, em_params, fopt);
+  BuildSpec spec;
+  spec.params.kappa = static_cast<int>(cli.get_int("kappa", 8));
+  spec.params.rho = cli.get_double("rho", 0.4);
+  spec.params.eps = 0.25;
+  spec.exec.keep_audit_data = false;
 
   Table table({"construction", "|H|", "subgraph?", "beta budget",
                "max add (sampled)", "violations"});
-  const auto eval = [&](const WeightedGraph& h, const PhaseSchedule& sched) {
-    return evaluate_stretch_sampled(g, h, sched.alpha_bound(),
-                                    sched.beta_bound(), 10, seed);
+  const auto add_row = [&](const char* algo, const char* label) {
+    spec.algorithm = algo;
+    const BuildOutput r = build(g, spec);
+    const auto stretch =
+        evaluate_stretch_sampled(g, r.h(), r.alpha, r.beta, 10, seed);
+    table.row()
+        .add(label)
+        .add(r.h().num_edges())
+        .add(is_subgraph(r.h(), g) ? "yes" : "no")
+        .add(r.beta)
+        .add(stretch.max_additive)
+        .add(stretch.violations);
   };
-  {
-    const auto r = eval(spanner.h, sp_params.schedule);
-    table.row()
-        .add("spanner (this paper, §4)")
-        .add(spanner.h.num_edges())
-        .add(is_subgraph(spanner.h, g) ? "yes" : "no")
-        .add(sp_params.schedule.beta_bound())
-        .add(r.max_additive)
-        .add(r.violations);
-  }
-  {
-    const auto r = eval(em19.h, em_params.schedule);
-    table.row()
-        .add("spanner (EM19 baseline)")
-        .add(em19.h.num_edges())
-        .add(is_subgraph(em19.h, g) ? "yes" : "no")
-        .add(em_params.schedule.beta_bound())
-        .add(r.max_additive)
-        .add(r.violations);
-  }
-  {
-    const auto r = eval(emulator.h, em_params.schedule);
-    table.row()
-        .add("emulator (this paper, §3)")
-        .add(emulator.h.num_edges())
-        .add(is_subgraph(emulator.h, g) ? "yes" : "no")
-        .add(em_params.schedule.beta_bound())
-        .add(r.max_additive)
-        .add(r.violations);
-  }
+  add_row("spanner", "spanner (this paper, §4)");
+  add_row("spanner_em19", "spanner (EM19 baseline)");
+  add_row("emulator_fast", "emulator (this paper, §3)");
   table.print(std::cout, "spanner vs emulator on the same input");
 
-  std::cout << "size bound n^(1+1/kappa) = " << emulator_size_bound(n, kappa)
+  std::cout << "size bound n^(1+1/kappa) = "
+            << emulator_size_bound(n, spec.params.kappa)
             << "; the emulator is allowed weighted shortcuts and is the "
                "sparsest; the spanner stays inside G.\n";
   return 0;

@@ -1,13 +1,14 @@
 // The headline result (paper Corollary 2.15): an emulator with n + o(n)
 // edges. Sets kappa = omega(log n) and shows |H| hugging n from below while
-// the input graph has many times more edges.
+// the input graph has many times more edges. Built through the unified API
+// ("emulator_fast" — the §3.3 scalable builder).
 //
 //   ./ultra_sparse_demo [--n 32768] [--avg-deg 12] [--rho 0.3] [--seed 7]
 
 #include <cmath>
 #include <iostream>
 
-#include "core/emulator_fast.hpp"
+#include "api/build.hpp"
 #include "core/params.hpp"
 #include "eval/metrics.hpp"
 #include "eval/stretch.hpp"
@@ -30,7 +31,6 @@ int main(int argc, char** argv) {
   }
   const Vertex n = static_cast<Vertex>(cli.get_int("n", 32768));
   const int avg_deg = static_cast<int>(cli.get_int("avg-deg", 12));
-  const double rho = cli.get_double("rho", 0.3);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
 
   const Graph g =
@@ -39,21 +39,26 @@ int main(int argc, char** argv) {
   // kappa = log n * log log n — omega(log n), the ultra-sparse regime.
   const double log_n = std::log2(static_cast<double>(n));
   const int kappa = static_cast<int>(std::ceil(log_n * std::log2(log_n)));
-  const auto params = DistributedParams::compute(n, kappa, rho, 0.25);
+
+  BuildSpec spec;
+  spec.algorithm = "emulator_fast";
+  spec.params.kappa = kappa;
+  spec.params.rho = cli.get_double("rho", 0.3);
+  spec.params.eps = 0.25;
 
   std::cout << "input:   n = " << n << ", m = " << g.num_edges() << "\n"
             << "kappa  = " << kappa << "  (log2 n = " << log_n << ")\n"
             << "bound  = n^(1+1/kappa) = " << emulator_size_bound(n, kappa)
             << "  = n + " << (emulator_size_bound(n, kappa) - n) << "\n";
 
-  const BuildResult result = build_emulator_fast(g, params);
-  std::cout << "|H|    = " << result.h.num_edges() << "  (excess over n: "
-            << format_double(ultra_sparse_excess(result.h, n) * 100, 3)
+  const BuildOutput result = build(g, spec);
+  std::cout << "|H|    = " << result.h().num_edges() << "  (excess over n: "
+            << format_double(ultra_sparse_excess(result.h(), n) * 100, 3)
             << "%)\n";
 
   Table phases({"phase", "|P_i|", "popular", "|U_i|", "interconnect",
                 "supercluster"});
-  for (const auto& p : result.phases) {
+  for (const auto& p : result.result.phases) {
     phases.row()
         .add(p.phase)
         .add(p.clusters_in)
@@ -64,13 +69,11 @@ int main(int argc, char** argv) {
   }
   phases.print(std::cout, "phase structure");
 
-  const auto stretch = evaluate_stretch_sampled(
-      g, result.h, params.schedule.alpha_bound(), params.schedule.beta_bound(),
-      8, seed);
+  const auto stretch = evaluate_stretch_sampled(g, result.h(), result.alpha,
+                                                result.beta, 8, seed);
   std::cout << "stretch: max additive " << stretch.max_additive
             << " over " << stretch.pairs << " sampled pairs (budget beta = "
-            << params.schedule.beta_bound() << "), violations "
-            << stretch.violations << "\n";
+            << result.beta << "), violations " << stretch.violations << "\n";
   std::cout << "\nThe emulator preserves all pairwise distances up to "
             << "(1+eps, beta) using barely n edges — that is Corollary 2.15.\n";
   return stretch.ok() ? 0 : 1;

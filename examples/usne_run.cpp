@@ -1,0 +1,163 @@
+// usne_run — build any registered construction from CLI flags through the
+// unified API (api/build.hpp) and emit the uniform stats JSON.
+//
+//   ./usne_run --list                     enumerate registered algorithms
+//   ./usne_run --describe spanner         metadata for one algorithm
+//   ./usne_run --algo emulator_congest --family er --n 128 --kappa 4
+//              --rho 0.49 --eps 0.4 --seed 2024 --threads 1 --json out.json
+//
+// The JSON record embeds BuildOutput::stats_json(), so the counters
+// (edges/phases, and rounds/messages/words for CONGEST variants) are the
+// same uniform StatsMap every other consumer of the API sees; the
+// scripts/check.sh registry smoke pass diffs them against BENCH_congest.json.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/build.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int run(int argc, char** argv);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The registry reports unknown algorithms / unsupported parameter
+  // combinations via std::invalid_argument whose message lists the
+  // catalog; surface it as a CLI error, not a terminate().
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace usne;
+  Cli cli(argc, argv,
+          {{"algo", "algorithm to build (see --list)"},
+           {"list", "list registered algorithms and exit"},
+           {"describe", "print metadata for one algorithm and exit"},
+           {"family", "graph family (default er; see generators.hpp)"},
+           {"n", "number of vertices (default 256)"},
+           {"kappa", "sparsity parameter (default 4)"},
+           {"eps", "stretch slack in (0,1) (default 0.25)"},
+           {"rho", "time exponent in (1/kappa, 1/2) (default 0.45)"},
+           {"rescale", "treat eps as the final target stretch (default off)"},
+           {"threads", "CONGEST scheduler lanes, 0 = hardware (default 1)"},
+           {"seed", "generator + baseline seed (default 2024)"},
+           {"audit", "retain audit data (default off)"},
+           {"json", "write the uniform stats JSON to FILE ('-' = stdout)"}},
+          /*allow_positional=*/true,
+          /*switches=*/{"list", "rescale", "audit"});
+  if (cli.help_requested() || !cli.errors().empty()) {
+    for (const auto& e : cli.errors()) std::cerr << "error: " << e << '\n';
+    std::cout << cli.usage("usne_run");
+    return cli.help_requested() ? 0 : 1;
+  }
+
+  if (cli.get_bool("list", false)) {
+    for (const std::string& name : algorithms()) std::cout << name << '\n';
+    return 0;
+  }
+  if (cli.has("describe")) {
+    const AlgorithmInfo& info = describe(cli.get("describe", ""));
+    std::cout << info.name << ": " << info.summary << '\n'
+              << "  kind=" << info.kind << " model=" << info.model
+              << (info.deterministic ? " deterministic" : " randomized")
+              << (info.baseline ? " baseline" : " paper-variant")
+              << (info.uses_rho ? " uses-rho" : "")
+              << (info.uses_seed ? " uses-seed" : "")
+              << (info.supports_rescale ? " supports-rescale" : "") << '\n';
+    return 0;
+  }
+
+  BuildSpec spec;
+  spec.algorithm = cli.get("algo", "");
+  // A bare positional is accepted as the algorithm name: `usne_run spanner`.
+  if (spec.algorithm.empty() && !cli.positional().empty()) {
+    spec.algorithm = cli.positional().front();
+  }
+  if (spec.algorithm.empty()) {
+    std::cerr << "error: --algo is required (try --list)\n";
+    return 1;
+  }
+  const std::string family = cli.get("family", "er");
+  const Vertex n = static_cast<Vertex>(cli.get_int("n", 256));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 2024));
+  spec.params.kappa = static_cast<int>(cli.get_int("kappa", 4));
+  spec.params.eps = cli.get_double("eps", 0.25);
+  spec.params.rho = cli.get_double("rho", 0.45);
+  spec.params.rescale = cli.get_bool("rescale", false);
+  spec.exec.num_threads = static_cast<int>(cli.get_int("threads", 1));
+  spec.exec.keep_audit_data = cli.get_bool("audit", false);
+  spec.exec.seed = seed;
+
+  const Graph g = gen_family(family, n, seed);
+  Timer timer;
+  const BuildOutput out = build(g, spec);
+  const double wall_s = timer.seconds();
+
+  std::cout << describe(spec.algorithm).summary << '\n'
+            << "graph:  " << family << ", n = " << g.num_vertices()
+            << ", m = " << g.num_edges() << '\n';
+  if (!out.params_description.empty()) {
+    std::cout << "params: " << out.params_description << '\n';
+  }
+  std::cout << "|H| = " << out.h().num_edges();
+  if (out.has_guarantee) {
+    std::cout << "  guarantee: d_H <= " << out.alpha << " * d_G + " << out.beta;
+  }
+  std::cout << '\n';
+  if (out.distributed) {
+    std::cout << "congest: rounds = " << out.net.rounds
+              << ", messages = " << out.net.messages
+              << ", words = " << out.net.words;
+    if (!out.local.empty()) {
+      // Spanners carry no local-knowledge obligation (their edges are the
+      // endpoints' own incident graph edges), so only report the check
+      // where it verifies something.
+      std::cout << ", endpoints_ok = "
+                << (out.endpoints_consistent() ? "yes" : "NO");
+    }
+    std::cout << '\n';
+  }
+  std::cout << "built in " << wall_s << "s\n";
+
+  if (cli.has("json")) {
+    std::ostringstream record;
+    record << "{\"driver\": \"usne_run\", \"family\": \"" << family
+           << "\", \"n\": " << g.num_vertices()
+           << ", \"kappa\": " << spec.params.kappa
+           << ", \"eps\": " << spec.params.eps
+           << ", \"rho\": " << spec.params.rho << ", \"seed\": " << seed
+           << ", \"threads\": " << spec.exec.num_threads
+           << ", \"build\": " << out.stats_json() << "}\n";
+    const std::string path = cli.get("json", "-");
+    if (path == "-") {
+      std::cout << record.str();
+    } else {
+      std::ofstream file(path);
+      file << record.str();
+      file.flush();
+      if (!file) {
+        std::cerr << "error: could not write " << path << '\n';
+        return 1;
+      }
+      std::cout << "[wrote " << path << "]\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace

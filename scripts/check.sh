@@ -10,6 +10,13 @@
 #                              Fails if the model counts diverge between the
 #                              serial and parallel engines: the parallel
 #                              scheduler's determinism is a hard guarantee.
+#                              Finally runs the unified-API registry smoke:
+#                              `usne_run --json` for every name in
+#                              usne::algorithms(), diffing the CONGEST
+#                              variants' round/message/word counts against
+#                              the BENCH_congest.json rows (the registry is
+#                              a dispatch layer — bit-for-bit, never a
+#                              semantic one).
 #
 # Optional TSan gate for the parallel engine (not part of the default run):
 #   cmake -B build-tsan -S . -DUSNE_TSAN=ON && cmake --build build-tsan -j
@@ -48,5 +55,38 @@ if ! diff <(extract_rows BENCH_congest_serial.json) \
 fi
 rm -f BENCH_congest_serial.json
 echo "model counts identical across engines"
+
+echo "== unified-API registry smoke (usne_run over every algorithm) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+for algo in $(./build/usne_run --list); do
+  ./build/usne_run --algo "${algo}" --family er --n 128 --kappa 4 \
+    --rho 0.49 --eps 0.4 --seed 2024 --threads 1 \
+    --json "${SMOKE_DIR}/${algo}.json" >/dev/null
+done
+echo "all $(./build/usne_run --list | wc -l) registered algorithms built"
+
+echo "== registry vs BENCH_congest.json (CONGEST count diff) =="
+# The `|| true`s keep set -e/pipefail from killing the script on a failed
+# grep before the FAIL diagnostics below can print.
+json_field() { { grep -o "\"$2\": [0-9]*" "$1" || true; } | head -n 1 | awk '{print $2}'; }
+for algo in $(./build/usne_run --list); do
+  ./build/usne_run --describe "${algo}" | grep -q "model=congest" || continue
+  row="$(grep "\"algo\": \"${algo}\", \"family\": \"er\", \"n\": 128," \
+    BENCH_congest.json || true)"
+  if [ -z "${row}" ]; then
+    echo "FAIL: no BENCH_congest.json row for ${algo} (er, n=128)" >&2
+    exit 1
+  fi
+  for key in rounds messages words; do
+    want="$(printf '%s' "${row}" | { grep -o "\"${key}\": [0-9]*" || true; } | awk '{print $2}')"
+    got="$(json_field "${SMOKE_DIR}/${algo}.json" "${key}")"
+    if [ "${want}" != "${got}" ]; then
+      echo "FAIL: ${algo} ${key}: usne_run=${got} != BENCH_congest.json=${want}" >&2
+      exit 1
+    fi
+  done
+  echo "${algo}: rounds/messages/words match BENCH_congest.json"
+done
 
 echo "== done =="

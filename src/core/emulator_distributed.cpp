@@ -446,8 +446,10 @@ void backtrack_superclusters(Builder& b, const BfsForest& forest, int phase,
 
 }  // namespace
 
-bool DistributedBuildResult::endpoints_consistent() const {
-  for (const WeightedEdge& e : base.h.edges()) {
+bool endpoints_know_all_edges(
+    const WeightedGraph& h,
+    const std::vector<std::vector<std::pair<Vertex, Dist>>>& local) {
+  for (const WeightedEdge& e : h.edges()) {
     bool at_u = false;
     bool at_v = false;
     for (const auto& [o, w] : local[static_cast<std::size_t>(e.u)]) {
@@ -459,6 +461,10 @@ bool DistributedBuildResult::endpoints_consistent() const {
     if (!at_u || !at_v) return false;
   }
   return true;
+}
+
+bool DistributedBuildResult::endpoints_consistent() const {
+  return endpoints_know_all_edges(base.h, local);
 }
 
 DistributedBuildResult build_emulator_distributed(

@@ -72,6 +72,14 @@ struct DistributedBuildResult {
   bool endpoints_consistent() const;
 };
 
+/// True if every edge of h appears, with identical weight, in the local
+/// knowledge lists of both endpoints — the paper's both-endpoints-know
+/// property. Shared by DistributedBuildResult and the unified API's
+/// BuildOutput.
+bool endpoints_know_all_edges(
+    const WeightedGraph& h,
+    const std::vector<std::vector<std::pair<Vertex, Dist>>>& local);
+
 /// Runs the §3.1 construction on a fresh Network over g.
 DistributedBuildResult build_emulator_distributed(
     const Graph& g, const DistributedParams& params,

@@ -4,6 +4,8 @@
 // emulators (Elkin & Matar, PODC 2021) and everything around them.
 //
 // Typical entry points:
+//   * usne::build(g, BuildSpec)    — unified front door to every
+//     construction (api/build.hpp); usne::algorithms() enumerates them
 //   * CentralizedParams / DistributedParams / SpannerParams  (core/params.hpp)
 //   * build_emulator_centralized   — Algorithm 1 (§2)
 //   * build_emulator_fast          — fast centralized simulation (§3.3)
@@ -15,12 +17,14 @@
 // Include this for convenience, or the individual headers for faster
 // builds.
 
+#include "api/build.hpp"
 #include "baselines/em19_spanner.hpp"
 #include "baselines/en17_emulator.hpp"
 #include "baselines/ep01_emulator.hpp"
 #include "baselines/tz06_emulator.hpp"
 #include "congest/bfs_forest.hpp"
 #include "congest/detect.hpp"
+#include "congest/engine.hpp"
 #include "congest/flood.hpp"
 #include "congest/network.hpp"
 #include "congest/ruling_set.hpp"
@@ -50,4 +54,5 @@
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"

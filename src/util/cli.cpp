@@ -5,7 +5,8 @@
 
 namespace usne {
 
-Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
+Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec,
+         bool allow_positional, std::set<std::string> switches)
     : spec_(std::move(spec)) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -14,7 +15,11 @@ Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
       continue;
     }
     if (arg.rfind("--", 0) != 0) {
-      errors_.push_back("unexpected positional argument: " + arg);
+      if (allow_positional) {
+        positional_.push_back(arg);
+      } else {
+        errors_.push_back("unexpected positional argument: " + arg);
+      }
       continue;
     }
     arg = arg.substr(2);
@@ -26,10 +31,14 @@ Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
       value = arg.substr(eq + 1);
     } else {
       name = arg;
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (switches.count(name) != 0) {
+        value = "1";  // boolean switch: never consumes the next token
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
-      } else {
-        value = "1";  // boolean switch
+      } else if (spec_.find(name) != spec_.end()) {
+        errors_.push_back("flag --" + name + " requires a value");
+        continue;
       }
     }
     if (spec_.find(name) == spec_.end()) {
@@ -52,6 +61,15 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,13 +17,29 @@ namespace usne {
 class Cli {
  public:
   /// Parses argv. `spec` maps flag name -> help text; flags not in the spec
-  /// are collected into errors().
-  Cli(int argc, char** argv, std::map<std::string, std::string> spec);
+  /// are collected into errors(). Non-"--flag" arguments go to positional()
+  /// when `allow_positional` is set and to errors() otherwise (the default —
+  /// a stray `-n 8` typo must not silently fall back to defaults).
+  ///
+  /// Flags named in `switches` are boolean: they never consume the next
+  /// token as a value ("--audit foo" leaves "foo" positional; use
+  /// "--audit=false" for an explicit value). Every other flag requires a
+  /// value — a bare "--json" is an error, not a silent "1".
+  Cli(int argc, char** argv, std::map<std::string, std::string> spec,
+      bool allow_positional = false, std::set<std::string> switches = {});
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean flags: a bare switch ("--foo") and the values 1/true/yes/on
+  /// are true; 0/false/no/off are false; anything else falls back.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Arguments that are not "--flag"s, in order of appearance (only
+  /// populated when the constructor allowed them).
+  const std::vector<std::string>& positional() const { return positional_; }
 
   const std::vector<std::string>& errors() const { return errors_; }
   bool help_requested() const { return help_; }
@@ -33,6 +50,7 @@ class Cli {
  private:
   std::map<std::string, std::string> spec_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
   std::vector<std::string> errors_;
   bool help_ = false;
 };

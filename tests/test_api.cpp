@@ -1,0 +1,308 @@
+// Unified construction API (api/build.hpp): registry enumeration and
+// adapter equivalence. Every registered algorithm must produce a
+// BuildOutput whose edges and stats are bit-for-bit identical to calling
+// the corresponding legacy free function directly — the registry is a
+// dispatch layer, never a semantic one.
+
+#include "api/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/en17_emulator.hpp"
+#include "baselines/ep01_emulator.hpp"
+#include "baselines/tz06_emulator.hpp"
+#include "core/emulator_centralized.hpp"
+#include "core/emulator_distributed.hpp"
+#include "core/emulator_fast.hpp"
+#include "core/params.hpp"
+#include "core/spanner.hpp"
+#include "core/spanner_distributed.hpp"
+#include "graph/generators.hpp"
+
+namespace usne {
+namespace {
+
+constexpr Vertex kN = 128;
+constexpr int kKappa = 4;
+constexpr double kEps = 0.4;
+constexpr double kRho = 0.49;
+constexpr std::uint64_t kSeed = 2024;
+
+Graph test_graph() { return gen_family("er", kN, kSeed); }
+
+BuildSpec spec_for(const std::string& algo) {
+  BuildSpec spec;
+  spec.algorithm = algo;
+  spec.params.kappa = kKappa;
+  spec.params.eps = kEps;
+  spec.params.rho = kRho;
+  spec.exec.seed = kSeed;
+  return spec;
+}
+
+void expect_same_graph(const WeightedGraph& got, const WeightedGraph& want) {
+  ASSERT_EQ(got.num_edges(), want.num_edges());
+  EXPECT_EQ(got.num_vertices(), want.num_vertices());
+  // edges() is in insertion order of first occurrence, so bit-for-bit
+  // adapters must match element-wise, not just as sets.
+  EXPECT_EQ(got.edges(), want.edges());
+}
+
+void expect_matches_legacy(const BuildOutput& out, const BuildResult& legacy) {
+  expect_same_graph(out.h(), legacy.h);
+  ASSERT_EQ(out.result.phases.size(), legacy.phases.size());
+  for (std::size_t i = 0; i < legacy.phases.size(); ++i) {
+    EXPECT_EQ(out.result.phases[i].clusters_in, legacy.phases[i].clusters_in);
+    EXPECT_EQ(out.result.phases[i].popular, legacy.phases[i].popular);
+    EXPECT_EQ(out.result.phases[i].rounds, legacy.phases[i].rounds);
+  }
+  EXPECT_EQ(out.result.total_rounds, legacy.total_rounds);
+  EXPECT_EQ(out.stats.at("edges"), legacy.h.num_edges());
+  EXPECT_EQ(out.stats.at("phases"),
+            static_cast<std::int64_t>(legacy.phases.size()));
+  EXPECT_EQ(out.stats.at("interconnect_edges"), legacy.interconnect_edges());
+  EXPECT_EQ(out.stats.at("supercluster_edges"), legacy.supercluster_edges());
+}
+
+TEST(Registry, EnumeratesAllNineConstructions) {
+  const auto names = algorithms();
+  for (const char* required :
+       {"emulator_centralized", "emulator_fast", "emulator_congest", "spanner",
+        "spanner_congest", "spanner_em19", "spanner_congest_em19",
+        "emulator_ep01", "emulator_tz06", "emulator_en17"}) {
+    EXPECT_TRUE(is_registered(required)) << required;
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, DescribeIsConsistent) {
+  for (const std::string& name : algorithms()) {
+    const AlgorithmInfo& info = describe(name);
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.summary.empty());
+    EXPECT_TRUE(info.kind == "emulator" || info.kind == "spanner") << name;
+    EXPECT_TRUE(info.model == "centralized" || info.model == "congest")
+        << name;
+  }
+  EXPECT_EQ(describe("emulator_congest").model, "congest");
+  EXPECT_EQ(describe("spanner").kind, "spanner");
+  EXPECT_FALSE(describe("emulator_tz06").deterministic);
+  EXPECT_TRUE(describe("emulator_tz06").baseline);
+  EXPECT_FALSE(describe("emulator_centralized").baseline);
+}
+
+TEST(Registry, UnknownNameThrowsWithCatalog) {
+  EXPECT_FALSE(is_registered("no_such_algorithm"));
+  try {
+    build(test_graph(), spec_for("no_such_algorithm"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error message doubles as documentation: it lists every name.
+    EXPECT_NE(std::string(e.what()).find("emulator_centralized"),
+              std::string::npos);
+  }
+  EXPECT_THROW(describe("no_such_algorithm"), std::invalid_argument);
+}
+
+TEST(Registry, RescaleRejectedWhereUnsupported) {
+  auto spec = spec_for("spanner");
+  spec.params.rescale = true;
+  EXPECT_THROW(build(test_graph(), spec), std::invalid_argument);
+  EXPECT_FALSE(describe("spanner").supports_rescale);
+  EXPECT_TRUE(describe("emulator_centralized").supports_rescale);
+}
+
+TEST(Registry, EveryAlgorithmBuildsWithGuaranteeMetadata) {
+  const Graph g = test_graph();
+  for (const std::string& name : algorithms()) {
+    SCOPED_TRACE(name);
+    const BuildOutput out = build(g, spec_for(name));
+    EXPECT_EQ(out.algorithm, name);
+    EXPECT_GT(out.h().num_edges(), 0);
+    EXPECT_GT(out.stats.at("edges"), 0);
+    EXPECT_EQ(out.stats.count("rounds"),
+              describe(name).model == "congest" ? 1u : 0u);
+    EXPECT_EQ(out.distributed, describe(name).model == "congest");
+    if (describe(name).deterministic) {
+      EXPECT_TRUE(out.has_guarantee);
+      EXPECT_GE(out.alpha, 1.0);
+      EXPECT_GT(out.beta, 0);
+    } else {
+      EXPECT_FALSE(out.has_guarantee);
+    }
+    EXPECT_TRUE(out.endpoints_consistent());
+    // The uniform JSON record is well-formed enough for CI consumption.
+    const std::string json = out.stats_json();
+    EXPECT_NE(json.find("\"algo\": \"" + name + "\""), std::string::npos);
+    EXPECT_NE(json.find("\"edges\": "), std::string::npos);
+  }
+}
+
+// --- adapter equivalence, one test per legacy entry point ---------------
+
+TEST(AdapterEquivalence, EmulatorCentralized) {
+  const Graph g = test_graph();
+  const auto params = CentralizedParams::compute(kN, kKappa, kEps);
+  const auto legacy = build_emulator_centralized(g, params);
+  const auto out = build(g, spec_for("emulator_centralized"));
+  expect_matches_legacy(out, legacy);
+  EXPECT_DOUBLE_EQ(out.alpha, params.schedule.alpha_bound());
+  EXPECT_EQ(out.beta, params.schedule.beta_bound());
+  EXPECT_EQ(out.params_description, params.describe());
+}
+
+TEST(AdapterEquivalence, EmulatorCentralizedRescaled) {
+  const Graph g = test_graph();
+  const auto params = CentralizedParams::compute_rescaled(kN, kKappa, kEps);
+  const auto legacy = build_emulator_centralized(g, params);
+  auto spec = spec_for("emulator_centralized");
+  spec.params.rescale = true;
+  const auto out = build(g, spec);
+  expect_matches_legacy(out, legacy);
+  EXPECT_LE(out.alpha, 1.0 + kEps);
+}
+
+TEST(AdapterEquivalence, EmulatorFast) {
+  const Graph g = test_graph();
+  const auto params = DistributedParams::compute(kN, kKappa, kRho, kEps);
+  const auto legacy = build_emulator_fast(g, params);
+  const auto out = build(g, spec_for("emulator_fast"));
+  expect_matches_legacy(out, legacy);
+}
+
+TEST(AdapterEquivalence, EmulatorCongestIncludingNetCounts) {
+  const Graph g = test_graph();
+  const auto params = DistributedParams::compute(kN, kKappa, kRho, kEps);
+  const auto legacy = build_emulator_distributed(g, params);
+  const auto out = build(g, spec_for("emulator_congest"));
+  expect_matches_legacy(out, legacy.base);
+  // The DistributedBuildResult round/message/word counts, bit-for-bit.
+  EXPECT_EQ(out.net.rounds, legacy.net.rounds);
+  EXPECT_EQ(out.net.messages, legacy.net.messages);
+  EXPECT_EQ(out.net.words, legacy.net.words);
+  EXPECT_EQ(out.stats.at("rounds"), legacy.net.rounds);
+  EXPECT_EQ(out.stats.at("messages"), legacy.net.messages);
+  EXPECT_EQ(out.stats.at("words"), legacy.net.words);
+  // Per-node local knowledge rides along unchanged.
+  EXPECT_EQ(out.local, legacy.local);
+  EXPECT_EQ(out.endpoints_consistent(), legacy.endpoints_consistent());
+}
+
+TEST(AdapterEquivalence, EmulatorCongestParallelEnginesAgree) {
+  const Graph g = test_graph();
+  const auto serial = build(g, spec_for("emulator_congest"));
+  auto spec = spec_for("emulator_congest");
+  spec.exec.num_threads = 2;
+  const auto parallel = build(g, spec);
+  EXPECT_EQ(parallel.net.rounds, serial.net.rounds);
+  EXPECT_EQ(parallel.net.messages, serial.net.messages);
+  EXPECT_EQ(parallel.net.words, serial.net.words);
+  expect_same_graph(parallel.h(), serial.h());
+}
+
+TEST(AdapterEquivalence, EmulatorCongestHubThresholdForwarded) {
+  const Graph g = test_graph();
+  const auto params = DistributedParams::compute(kN, kKappa, kRho, kEps);
+  DistributedOptions o;
+  o.hub_threshold_factor = 3;
+  const auto legacy = build_emulator_distributed(g, params, o);
+  auto spec = spec_for("emulator_congest");
+  spec.exec.hub_threshold_factor = 3;
+  const auto out = build(g, spec);
+  EXPECT_EQ(out.net.rounds, legacy.net.rounds);
+  EXPECT_EQ(out.net.messages, legacy.net.messages);
+  expect_same_graph(out.h(), legacy.base.h);
+}
+
+TEST(AdapterEquivalence, Spanner) {
+  const Graph g = test_graph();
+  const auto params = SpannerParams::compute(kN, kKappa, kRho, kEps);
+  const auto legacy = build_spanner(g, params);
+  const auto out = build(g, spec_for("spanner"));
+  expect_matches_legacy(out, legacy);
+  EXPECT_TRUE(is_subgraph(out.h(), g));
+}
+
+TEST(AdapterEquivalence, SpannerCongest) {
+  const Graph g = test_graph();
+  const auto params = SpannerParams::compute(kN, kKappa, kRho, kEps);
+  const auto legacy = build_spanner_congest(g, params);
+  const auto out = build(g, spec_for("spanner_congest"));
+  expect_matches_legacy(out, legacy.base);
+  EXPECT_EQ(out.net.rounds, legacy.net.rounds);
+  EXPECT_EQ(out.net.messages, legacy.net.messages);
+  EXPECT_EQ(out.net.words, legacy.net.words);
+}
+
+TEST(AdapterEquivalence, SpannerEm19) {
+  const Graph g = test_graph();
+  const auto params = DistributedParams::compute(kN, kKappa, kRho, kEps);
+  const auto legacy = build_spanner_em19(g, params);
+  const auto out = build(g, spec_for("spanner_em19"));
+  expect_matches_legacy(out, legacy);
+}
+
+TEST(AdapterEquivalence, SpannerCongestEm19) {
+  const Graph g = test_graph();
+  const auto params = DistributedParams::compute(kN, kKappa, kRho, kEps);
+  const auto legacy = build_spanner_congest_em19(g, params);
+  const auto out = build(g, spec_for("spanner_congest_em19"));
+  expect_matches_legacy(out, legacy.base);
+  EXPECT_EQ(out.net.rounds, legacy.net.rounds);
+  EXPECT_EQ(out.net.messages, legacy.net.messages);
+  EXPECT_EQ(out.net.words, legacy.net.words);
+}
+
+TEST(AdapterEquivalence, EmulatorEp01) {
+  const Graph g = test_graph();
+  const auto params = CentralizedParams::compute(kN, kKappa, kEps);
+  const auto legacy = build_emulator_ep01(g, params);
+  const auto out = build(g, spec_for("emulator_ep01"));
+  expect_matches_legacy(out, legacy);
+}
+
+TEST(AdapterEquivalence, EmulatorTz06SameSeedSameOutput) {
+  const Graph g = test_graph();
+  const auto legacy = build_emulator_tz06(g, kN, kKappa, kSeed);
+  const auto out = build(g, spec_for("emulator_tz06"));
+  expect_matches_legacy(out, legacy);
+}
+
+TEST(AdapterEquivalence, EmulatorEn17SameSeedSameOutput) {
+  const Graph g = test_graph();
+  const auto legacy = build_emulator_en17(g, kN, kKappa, kEps, kSeed);
+  const auto out = build(g, spec_for("emulator_en17"));
+  expect_matches_legacy(out, legacy);
+}
+
+TEST(AdapterEquivalence, AuditDataGatedByExecOptions) {
+  const Graph g = test_graph();
+  auto spec = spec_for("emulator_centralized");
+  spec.exec.keep_audit_data = true;
+  const auto with = build(g, spec);
+  spec.exec.keep_audit_data = false;
+  const auto without = build(g, spec);
+  EXPECT_FALSE(with.result.partitions.empty());
+  EXPECT_FALSE(with.result.edge_log.empty());
+  EXPECT_TRUE(without.result.partitions.empty());
+  EXPECT_TRUE(without.result.edge_log.empty());
+  expect_same_graph(without.h(), with.h());
+}
+
+TEST(AdapterEquivalence, ExplicitNOverridesGraphSize) {
+  const Graph g = test_graph();
+  auto spec = spec_for("emulator_centralized");
+  spec.params.n = g.num_vertices();  // explicit == inferred
+  const auto explicit_n = build(g, spec);
+  spec.params.n = 0;
+  const auto inferred = build(g, spec);
+  expect_same_graph(explicit_n.h(), inferred.h());
+}
+
+}  // namespace
+}  // namespace usne

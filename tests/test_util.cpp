@@ -1,11 +1,15 @@
 // Unit tests for src/util: RNG determinism and distribution sanity, integer
-// math helpers, table rendering.
+// math helpers, table rendering, CLI flag parsing.
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -159,6 +163,94 @@ TEST(Table, FormatCount) {
   EXPECT_EQ(format_count(999), "999");
   EXPECT_EQ(format_count(1000), "1,000");
   EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+Cli make_cli(std::vector<std::string> args,
+             std::map<std::string, std::string> spec,
+             bool allow_positional = false,
+             std::set<std::string> switches = {}) {
+  // Cli copies everything it keeps, so locals are fine here.
+  std::vector<std::string> storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data(), std::move(spec),
+             allow_positional, std::move(switches));
+}
+
+TEST(Cli, TypedAccessors) {
+  const Cli cli = make_cli({"--n=42", "--eps", "0.5", "--name", "er"},
+                           {{"n", ""}, {"eps", ""}, {"name", ""}});
+  EXPECT_TRUE(cli.errors().empty());
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0), 0.5);
+  EXPECT_EQ(cli.get("name", ""), "er");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, GetBool) {
+  const Cli cli = make_cli(
+      {"--flag", "--yes=true", "--no=false", "--off", "0", "--junk=maybe"},
+      {{"flag", ""}, {"yes", ""}, {"no", ""}, {"off", ""}, {"junk", ""}},
+      /*allow_positional=*/false, /*switches=*/{"flag"});
+  EXPECT_TRUE(cli.get_bool("flag", false));  // bare switch
+  EXPECT_TRUE(cli.get_bool("yes", false));
+  EXPECT_FALSE(cli.get_bool("no", true));
+  EXPECT_FALSE(cli.get_bool("off", true));    // "--off 0" two-token form
+  EXPECT_TRUE(cli.get_bool("junk", true));    // unparsable -> fallback
+  EXPECT_FALSE(cli.get_bool("junk", false));
+  EXPECT_TRUE(cli.get_bool("absent", true));  // missing -> fallback
+}
+
+TEST(Cli, SwitchNeverConsumesNextToken) {
+  // "--audit foo": audit is a declared switch, so foo stays positional
+  // instead of being swallowed as audit's value (which would silently
+  // disable the flag via get_bool's fallback).
+  const Cli cli = make_cli({"--audit", "spanner"}, {{"audit", ""}},
+                           /*allow_positional=*/true, /*switches=*/{"audit"});
+  EXPECT_TRUE(cli.errors().empty());
+  EXPECT_TRUE(cli.get_bool("audit", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "spanner");
+  // Explicit =value still works for switches.
+  const Cli off = make_cli({"--audit=false"}, {{"audit", ""}},
+                           /*allow_positional=*/true, /*switches=*/{"audit"});
+  EXPECT_FALSE(off.get_bool("audit", true));
+}
+
+TEST(Cli, ValueFlagWithoutValueIsAnError) {
+  // A bare "--json" must not silently become the value "1" (and then a
+  // stray file named "1").
+  const Cli cli = make_cli({"--json"}, {{"json", ""}});
+  ASSERT_EQ(cli.errors().size(), 1u);
+  EXPECT_NE(cli.errors()[0].find("requires a value"), std::string::npos);
+  EXPECT_FALSE(cli.has("json"));
+}
+
+TEST(Cli, PositionalArgumentsWhenAllowed) {
+  const Cli cli = make_cli({"spanner", "--n=8", "second"}, {{"n", ""}},
+                           /*allow_positional=*/true);
+  EXPECT_TRUE(cli.errors().empty());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "spanner");
+  EXPECT_EQ(cli.positional()[1], "second");
+  EXPECT_EQ(cli.get_int("n", 0), 8);
+}
+
+TEST(Cli, PositionalArgumentsRejectedByDefault) {
+  // A single-dash typo like `-n 8` must not silently fall back to flag
+  // defaults in the binaries that take no positionals.
+  const Cli cli = make_cli({"-n", "8"}, {{"n", ""}});
+  ASSERT_EQ(cli.errors().size(), 2u);
+  EXPECT_NE(cli.errors()[0].find("positional"), std::string::npos);
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, UnknownFlagStillReported) {
+  const Cli cli = make_cli({"--bogus=1"}, {{"n", ""}});
+  ASSERT_EQ(cli.errors().size(), 1u);
+  EXPECT_NE(cli.errors()[0].find("bogus"), std::string::npos);
 }
 
 }  // namespace
