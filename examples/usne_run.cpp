@@ -5,6 +5,10 @@
 //   ./usne_run --describe spanner         metadata for one algorithm
 //   ./usne_run --algo emulator_congest --family er --n 128 --kappa 4
 //              --rho 0.49 --eps 0.4 --seed 2024 --threads 1 --json out.json
+//   ./usne_run --algo spanner_congest --transport faulty --drop-p 0.05
+//              --dup-p 0.02 --transport-seed 7      (lossy links)
+//   ./usne_run --algo emulator_congest --transport async --latency-max 4
+//              --transport-seed 7                   (variable latency)
 //
 // The JSON record embeds BuildOutput::stats_json(), so the counters
 // (edges/phases, and rounds/messages/words for CONGEST variants) are the
@@ -56,7 +60,12 @@ int run(int argc, char** argv) {
            {"threads", "CONGEST scheduler lanes, 0 = hardware (default 1)"},
            {"seed", "generator + baseline seed (default 2024)"},
            {"audit", "retain audit data (default off)"},
-           {"json", "write the uniform stats JSON to FILE ('-' = stdout)"}},
+           {"json", "write the uniform stats JSON to FILE ('-' = stdout)"},
+           {"transport", "delivery model ideal|faulty|async (default ideal)"},
+           {"drop-p", "faulty: per-message drop probability (default 0)"},
+           {"dup-p", "faulty: per-message duplicate probability (default 0)"},
+           {"latency-max", "async: latency uniform in [1, L] rounds (default 1)"},
+           {"transport-seed", "seed of the transport hash (default 1)"}},
           /*allow_positional=*/true,
           /*switches=*/{"list", "rescale", "audit"});
   if (cli.help_requested() || !cli.errors().empty()) {
@@ -77,7 +86,8 @@ int run(int argc, char** argv) {
               << (info.baseline ? " baseline" : " paper-variant")
               << (info.uses_rho ? " uses-rho" : "")
               << (info.uses_seed ? " uses-seed" : "")
-              << (info.supports_rescale ? " supports-rescale" : "") << '\n';
+              << (info.supports_rescale ? " supports-rescale" : "")
+              << (info.supports_transport ? " supports-transport" : "") << '\n';
     return 0;
   }
 
@@ -102,6 +112,13 @@ int run(int argc, char** argv) {
   spec.exec.num_threads = static_cast<int>(cli.get_int("threads", 1));
   spec.exec.keep_audit_data = cli.get_bool("audit", false);
   spec.exec.seed = seed;
+  spec.exec.transport.model =
+      congest::parse_transport_model(cli.get("transport", "ideal"));
+  spec.exec.transport.seed =
+      static_cast<std::uint64_t>(cli.get_int("transport-seed", 1));
+  spec.exec.transport.drop_p = cli.get_double("drop-p", 0.0);
+  spec.exec.transport.dup_p = cli.get_double("dup-p", 0.0);
+  spec.exec.transport.latency_max = cli.get_int("latency-max", 1);
 
   const Graph g = gen_family(family, n, seed);
   Timer timer;
@@ -123,6 +140,14 @@ int run(int argc, char** argv) {
     std::cout << "congest: rounds = " << out.net.rounds
               << ", messages = " << out.net.messages
               << ", words = " << out.net.words;
+    if (spec.exec.transport.model != congest::TransportModel::kIdeal) {
+      std::cout << "\ntransport: "
+                << congest::transport_model_name(spec.exec.transport.model)
+                << " (seed " << spec.exec.transport.seed
+                << "), injected: dropped = " << out.transport.dropped
+                << ", duplicated = " << out.transport.duplicated
+                << ", delayed = " << out.transport.delayed;
+    }
     if (!out.local.empty()) {
       // Spanners carry no local-knowledge obligation (their edges are the
       // endpoints' own incident graph edges), so only report the check
@@ -141,7 +166,12 @@ int run(int argc, char** argv) {
            << ", \"kappa\": " << spec.params.kappa
            << ", \"eps\": " << spec.params.eps
            << ", \"rho\": " << spec.params.rho << ", \"seed\": " << seed
-           << ", \"threads\": " << spec.exec.num_threads
+           << ", \"threads\": " << spec.exec.num_threads << ", \"transport\": \""
+           << congest::transport_model_name(spec.exec.transport.model)
+           << "\", \"transport_seed\": " << spec.exec.transport.seed
+           << ", \"drop_p\": " << spec.exec.transport.drop_p
+           << ", \"dup_p\": " << spec.exec.transport.dup_p
+           << ", \"latency_max\": " << spec.exec.transport.latency_max
            << ", \"build\": " << out.stats_json() << "}\n";
     const std::string path = cli.get("json", "-");
     if (path == "-") {

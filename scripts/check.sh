@@ -16,7 +16,11 @@
 #                              variants' round/message/word counts against
 #                              the BENCH_congest.json rows (the registry is
 #                              a dispatch layer — bit-for-bit, never a
-#                              semantic one).
+#                              semantic one), and the transport smoke:
+#                              --transport ideal must reproduce the BENCH
+#                              counts exactly, and faulty/async runs with a
+#                              fixed --transport-seed must be identical
+#                              run-to-run.
 #
 # Optional TSan gate for the parallel engine (not part of the default run):
 #   cmake -B build-tsan -S . -DUSNE_TSAN=ON && cmake --build build-tsan -j
@@ -47,14 +51,19 @@ echo "== CONGEST perf smoke (parallel, counts must match) =="
 ./build/bench_congest_rounds --threads max --json BENCH_congest.json
 
 echo "== serial vs parallel model-count divergence check =="
-extract_rows() { sed -n '/"rows": \[/,/\]/p' "$1"; }
-if ! diff <(extract_rows BENCH_congest_serial.json) \
-          <(extract_rows BENCH_congest.json); then
-  echo "FAIL: model counts diverge between --threads 1 and --threads max" >&2
-  exit 1
-fi
+# Both the ideal rows and the non-ideal transport rows must be identical
+# between the two engines: counts AND injected-event counters are
+# deterministic for any thread count.
+extract_section() { sed -n "/\"$2\": \[/,/\]/p" "$1"; }
+for section in rows transport_rows; do
+  if ! diff <(extract_section BENCH_congest_serial.json "${section}") \
+            <(extract_section BENCH_congest.json "${section}"); then
+    echo "FAIL: ${section} diverge between --threads 1 and --threads max" >&2
+    exit 1
+  fi
+done
 rm -f BENCH_congest_serial.json
-echo "model counts identical across engines"
+echo "model counts identical across engines (ideal + transport rows)"
 
 echo "== unified-API registry smoke (usne_run over every algorithm) =="
 SMOKE_DIR="$(mktemp -d)"
@@ -87,6 +96,47 @@ for algo in $(./build/usne_run --list); do
     fi
   done
   echo "${algo}: rounds/messages/words match BENCH_congest.json"
+done
+
+echo "== transport smoke (ideal parity + seeded reproducibility) =="
+# For the CONGEST constructions: an explicit --transport ideal run must
+# still produce the BENCH_congest.json counts (the transport layer's
+# default path is bit-for-bit the classic engine), and faulty/async runs
+# with a fixed --transport-seed must be reproducible run-to-run.
+for algo in emulator_congest spanner_congest; do
+  row="$(grep "\"algo\": \"${algo}\", \"family\": \"er\", \"n\": 128," \
+    BENCH_congest.json || true)"
+  ./build/usne_run --algo "${algo}" --family er --n 128 --kappa 4 \
+    --rho 0.49 --eps 0.4 --seed 2024 --threads 1 --transport ideal \
+    --json "${SMOKE_DIR}/${algo}.ideal.json" >/dev/null
+  for key in rounds messages words; do
+    want="$(printf '%s' "${row}" | { grep -o "\"${key}\": [0-9]*" || true; } | awk '{print $2}')"
+    got="$(json_field "${SMOKE_DIR}/${algo}.ideal.json" "${key}")"
+    if [ "${want}" != "${got}" ]; then
+      echo "FAIL: ${algo} --transport ideal ${key}: ${got} != BENCH ${want}" >&2
+      exit 1
+    fi
+  done
+  echo "${algo}: --transport ideal matches BENCH_congest.json"
+
+  for transport_flags in \
+      "faulty --drop-p 0.05 --dup-p 0.02" \
+      "async --latency-max 4"; do
+    model="${transport_flags%% *}"
+    for run in 1 2; do
+      # shellcheck disable=SC2086  # transport_flags is intentionally split
+      ./build/usne_run --algo "${algo}" --family er --n 128 --kappa 4 \
+        --rho 0.49 --eps 0.4 --seed 2024 --threads 1 \
+        --transport ${transport_flags} --transport-seed 7 \
+        --json "${SMOKE_DIR}/${algo}.${model}.${run}.json" >/dev/null
+    done
+    if ! diff "${SMOKE_DIR}/${algo}.${model}.1.json" \
+              "${SMOKE_DIR}/${algo}.${model}.2.json" >/dev/null; then
+      echo "FAIL: ${algo} --transport ${model} not reproducible for a fixed seed" >&2
+      exit 1
+    fi
+    echo "${algo}: --transport ${model} reproducible (seed 7)"
+  done
 done
 
 echo "== done =="

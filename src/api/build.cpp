@@ -82,6 +82,19 @@ void add_net(BuildOutput& out, const congest::NetworkStats& net) {
   out.stats["words"] = net.words;
 }
 
+/// Surfaces the delivery model's injected-event counters. The stats keys
+/// appear only for non-ideal models so the Ideal StatsMap stays
+/// bit-identical to the pre-transport registry output.
+void add_transport(BuildOutput& out, const congest::TransportCounters& tc,
+                   const congest::TransportSpec& spec) {
+  out.transport = tc;
+  if (spec.model != congest::TransportModel::kIdeal) {
+    out.stats["transport_dropped"] = tc.dropped;
+    out.stats["transport_duplicated"] = tc.duplicated;
+    out.stats["transport_delayed"] = tc.delayed;
+  }
+}
+
 const std::vector<Entry>& registry() {
   static const std::vector<Entry> table = [] {
     std::vector<Entry> t;
@@ -119,16 +132,18 @@ const std::vector<Entry>& registry() {
         {{"emulator_congest",
           "SS3.1 CONGEST construction: O(beta n^rho) rounds, both endpoints know",
           "emulator", "congest", true, /*uses_rho=*/true, false,
-          /*supports_rescale=*/true, false},
+          /*supports_rescale=*/true, false, /*supports_transport=*/true},
          [](const Graph& g, const BuildSpec& s, const AlgorithmInfo& info) {
            const auto params = dist_params(g, s);
            DistributedOptions o;
            o.keep_audit_data = s.exec.keep_audit_data;
            o.hub_threshold_factor = s.exec.hub_threshold_factor;
            o.num_threads = s.exec.num_threads;
+           o.transport = s.exec.transport;
            auto r = build_emulator_distributed(g, params, o);
            auto out = pack(info, std::move(r.base));
            add_net(out, r.net);
+           add_transport(out, r.transport, s.exec.transport);
            out.local = std::move(r.local);
            add_guarantee(out, params.schedule, params.describe());
            return out;
@@ -151,13 +166,15 @@ const std::vector<Entry>& registry() {
     t.push_back(
         {{"spanner_congest",
           "SS4 spanner in CONGEST: mark-upcast superclustering, no hubs",
-          "spanner", "congest", true, /*uses_rho=*/true, false, false, false},
+          "spanner", "congest", true, /*uses_rho=*/true, false, false, false,
+          /*supports_transport=*/true},
          [](const Graph& g, const BuildSpec& s, const AlgorithmInfo& info) {
            const auto params = spanner_params(g, s);
            auto r = build_spanner_congest(g, params, s.exec.keep_audit_data,
-                                          s.exec.num_threads);
+                                          s.exec.num_threads, s.exec.transport);
            auto out = pack(info, std::move(r.base));
            add_net(out, r.net);
+           add_transport(out, r.transport, s.exec.transport);
            add_guarantee(out, params.schedule, params.describe());
            return out;
          }});
@@ -182,13 +199,16 @@ const std::vector<Entry>& registry() {
         {{"spanner_congest_em19",
           "[EM19] baseline in CONGEST (round-for-round comparison)",
           "spanner", "congest", true, /*uses_rho=*/true, false,
-          /*supports_rescale=*/true, /*baseline=*/true},
+          /*supports_rescale=*/true, /*baseline=*/true,
+          /*supports_transport=*/true},
          [](const Graph& g, const BuildSpec& s, const AlgorithmInfo& info) {
            const auto params = dist_params(g, s);
            auto r = build_spanner_congest_em19(g, params, s.exec.keep_audit_data,
-                                               s.exec.num_threads);
+                                               s.exec.num_threads,
+                                               s.exec.transport);
            auto out = pack(info, std::move(r.base));
            add_net(out, r.net);
+           add_transport(out, r.transport, s.exec.transport);
            add_guarantee(out, params.schedule, params.describe());
            return out;
          }});
@@ -299,6 +319,17 @@ BuildOutput build(const Graph& g, const BuildSpec& spec) {
   if (spec.params.rescale && !entry.info.supports_rescale) {
     throw std::invalid_argument("algorithm '" + spec.algorithm +
                                 "' does not support eps rescaling");
+  }
+  spec.exec.transport.validate();
+  if (spec.exec.transport.model != congest::TransportModel::kIdeal &&
+      !entry.info.supports_transport) {
+    throw std::invalid_argument(
+        "algorithm '" + spec.algorithm + "' does not run on the CONGEST "
+        "simulator, so the '" +
+        std::string(
+            congest::transport_model_name(spec.exec.transport.model)) +
+        "' transport does not apply; non-ideal transports are supported by "
+        "the algorithms usne::describe() flags with supports_transport");
   }
   return entry.fn(g, spec, entry.info);
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "core/cluster.hpp"
 #include "graph/graph.hpp"
 
@@ -74,6 +75,16 @@ struct ExecOptions {
 
   /// Seed for the randomized baselines (emulator_tz06, emulator_en17).
   std::uint64_t seed = 1;
+
+  /// Delivery model for the CONGEST simulator's links
+  /// (congest/transport.hpp): Ideal (default), Faulty (seeded per-message
+  /// drop/duplicate), or Async (seeded per-message latency). Only the
+  /// CONGEST algorithms consume it (AlgorithmInfo::supports_transport);
+  /// build() rejects a non-ideal model on any other algorithm rather than
+  /// silently running the ideal path. Injected-event counters surface in
+  /// BuildOutput::transport and, for non-ideal models, in the StatsMap as
+  /// transport_dropped / transport_duplicated / transport_delayed.
+  congest::TransportSpec transport{};
 };
 
 /// A complete, serializable description of one build: which algorithm plus
@@ -100,6 +111,11 @@ struct AlgorithmInfo {
   bool uses_seed = false;
   bool supports_rescale = false;
   bool baseline = false;  // false for the five paper variants
+
+  /// True when the algorithm runs on the CONGEST simulator and therefore
+  /// honours ExecOptions::transport (non-ideal delivery models). build()
+  /// rejects non-ideal transports on algorithms without this flag.
+  bool supports_transport = false;
 };
 
 /// Output of usne::build(): the constructed graph H, the computed
@@ -116,6 +132,10 @@ struct BuildOutput {
 
   /// Round/message/word metering (CONGEST variants; zeros otherwise).
   congest::NetworkStats net;
+
+  /// Injected-event counters of the delivery model (all zero under the
+  /// Ideal transport and for centralized algorithms).
+  congest::TransportCounters transport;
 
   /// Per-node local edge knowledge (CONGEST emulator only; empty otherwise).
   std::vector<std::vector<std::pair<Vertex, Dist>>> local;

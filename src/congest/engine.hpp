@@ -21,9 +21,20 @@
 //
 // The Scheduler is the only component that calls Network::advance_round():
 // it owns round advancement, meters idle rounds (rounds delivering no
-// message — fixed schedules burn them deliberately), and reports the
-// traffic accrued by the program. Hosting every algorithm on this one
-// driver is what lets the engine evolve without touching algorithm code.
+// message with nothing in flight — fixed schedules burn them
+// deliberately), and reports the traffic accrued by the program. Hosting
+// every algorithm on this one driver is what lets the engine evolve
+// without touching algorithm code — the parallel fan-out and the
+// pluggable transport layer (congest/transport.hpp) both arrived without
+// changing a single NodeProgram.
+//
+// Transports. The Network's DeliveryModel may drop, duplicate, or delay
+// staged messages (Faulty/Async); programs keep their fixed schedules and
+// simply observe degraded traffic. Quiescence generalizes accordingly: at
+// program end, the Scheduler drains any staged or in-flight messages under
+// a non-ideal transport (those rounds count toward the report); under the
+// Ideal transport leftover staged messages remain a loud CongestViolation
+// (a program bug, not a transport effect).
 //
 // Parallel execution. The model is bulk-synchronous: every on_round call
 // within a round is logically concurrent, so when the Network carries an
@@ -270,11 +281,14 @@ class PipelinedQueues {
 /// carries the per-program delta.
 ///
 /// Execution policy comes from the Network (set_execution_threads): with
-/// T > 1 lanes the on_round fan-out of sufficiently large rounds runs on
-/// the network's persistent thread pool, bit-for-bit equivalent to serial
-/// execution. At program end the Scheduler verifies that no staged
-/// messages remain undelivered and throws CongestViolation otherwise
-/// (they would silently leak into the next program on the same network).
+/// T > 1 lanes the on_round fan-out of sufficiently large rounds (by
+/// receiver fan-out AND delivered-message count — small rounds cannot
+/// amortize the fork/join handshake) runs on the network's persistent
+/// thread pool, bit-for-bit equivalent to serial execution. At program end
+/// the Scheduler verifies quiescence: under the Ideal transport it throws
+/// CongestViolation if staged messages remain (they would silently leak
+/// into the next program on the same network); under Faulty/Async it
+/// drains staged and in-flight traffic deterministically instead.
 class Scheduler {
  public:
   explicit Scheduler(Network& net) : net_(&net) {}

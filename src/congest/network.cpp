@@ -4,16 +4,27 @@
 #include <string>
 #include <thread>
 
+#include "congest/transport.hpp"
 #include "util/thread_pool.hpp"
 
 namespace usne::congest {
+namespace {
+
+/// Delivery batches smaller than this are counting-sorted serially even
+/// under a parallel execution policy: the three fork/join handshakes of
+/// the sharded pass cost more than a small batch's scatter. Purely a
+/// wall-clock knob — delivery order is bit-identical either way.
+constexpr std::size_t kMinParallelScatter = 4096;
+
+}  // namespace
 
 Network::Network(const Graph& g)
     : graph_(&g),
       inbox_begin_(static_cast<std::size_t>(g.num_vertices()), 0),
       inbox_count_(static_cast<std::size_t>(g.num_vertices()), 0),
-      pending_count_(static_cast<std::size_t>(g.num_vertices()), 0),
-      edge_round_stamp_(static_cast<std::size_t>(g.num_edges()) * 2, -1) {
+      recv_count_(static_cast<std::size_t>(g.num_vertices()), 0),
+      edge_round_stamp_(static_cast<std::size_t>(g.num_edges()) * 2, -1),
+      model_(make_delivery_model(TransportSpec{})) {
   if (g.num_vertices() == 0) {
     throw std::invalid_argument(
         "Network requires a non-empty graph (n >= 1 processors)");
@@ -31,6 +42,8 @@ void Network::set_execution_threads(int threads) {
   threads = std::max(threads, 1);
   if (threads != exec_threads_) {
     pool_.reset();  // rebuilt lazily at the new width
+    shard_count_.clear();
+    shard_touched_.clear();
     exec_threads_ = threads;
   }
 }
@@ -39,6 +52,19 @@ util::ThreadPool* Network::thread_pool() {
   if (exec_threads_ <= 1) return nullptr;
   if (!pool_) pool_ = std::make_unique<util::ThreadPool>(exec_threads_);
   return pool_.get();
+}
+
+void Network::configure_transport(const TransportSpec& spec) {
+  if (pending_messages() + in_flight() != 0) {
+    throw std::logic_error(
+        "configure_transport requires a quiescent network (messages are "
+        "staged or in flight)");
+  }
+  model_ = make_delivery_model(spec);
+}
+
+std::int64_t Network::in_flight() const noexcept {
+  return model_->in_flight();
 }
 
 std::int64_t Network::directed_edge_id(Vertex from, Vertex to) const {
@@ -67,9 +93,6 @@ void Network::send(Vertex from, Vertex to, const Message& msg) {
   }
   stamp = stats_.rounds;
 
-  if (pending_count_[static_cast<std::size_t>(to)]++ == 0) {
-    pending_nodes_.push_back(to);
-  }
   pending_.push_back({to, {from, msg}});
   ++stats_.messages;
   stats_.words += msg.size;
@@ -79,42 +102,166 @@ void Network::broadcast(Vertex from, const Message& msg) {
   for (const Vertex to : graph_->neighbors(from)) send(from, to, msg);
 }
 
+void Network::sort_inbox_run(Vertex v) {
+  const auto sv = static_cast<std::size_t>(v);
+  Received* const first =
+      arena_.data() + static_cast<std::size_t>(inbox_begin_[sv]);
+  Received* const last = first + static_cast<std::size_t>(inbox_count_[sv]);
+  const auto by_sender = [](const Received& a, const Received& b) {
+    return a.from < b.from;
+  };
+  if (model_->unique_senders_per_round()) {
+    // Unique keys: plain (allocation-free) sort is already deterministic.
+    std::sort(first, last, by_sender);
+  } else {
+    // Duplicates / multi-round batches repeat senders: stability keeps the
+    // deterministic batch order (original before copy, earlier staging
+    // round first) within equal senders.
+    std::stable_sort(first, last, by_sender);
+  }
+}
+
 void Network::advance_round() {
   // Retire the previous round's delivery state (only delivered vertices have
   // non-zero counts, so the reset touches exactly the prior traffic).
   for (const Vertex v : delivered_) inbox_count_[static_cast<std::size_t>(v)] = 0;
   delivered_.clear();
 
-  // Counting-sort the staged messages into the delivery arena: receivers in
-  // ascending order, one contiguous run each.
-  std::sort(pending_nodes_.begin(), pending_nodes_.end());
-  std::int64_t offset = 0;
-  for (const Vertex v : pending_nodes_) {
-    inbox_begin_[static_cast<std::size_t>(v)] = offset;
-    offset += pending_count_[static_cast<std::size_t>(v)];
+  // Transport policy: the model turns this round's staged sends into the
+  // batch delivered next round (Ideal passes everything through; Faulty
+  // drops/duplicates; Async files by drawn latency and surfaces the
+  // messages that are due).
+  deliver_.clear();
+  model_->collect(stats_.rounds, pending_, deliver_);
+  pending_.clear();
+  delivered_messages_ = static_cast<std::int64_t>(deliver_.size());
+
+  util::ThreadPool* const pool =
+      deliver_.size() >= kMinParallelScatter ? thread_pool() : nullptr;
+  if (pool != nullptr) {
+    scatter_parallel(*pool);
+  } else {
+    scatter_serial();
   }
-  if (arena_.size() < pending_.size()) arena_.resize(pending_.size());
-  for (const Pending& p : pending_) {
+  ++stats_.rounds;
+}
+
+void Network::scatter_serial() {
+  // Counting-sort the batch into the delivery arena: receivers in
+  // ascending order, one contiguous run each.
+  for (const Staged& p : deliver_) {
+    if (recv_count_[static_cast<std::size_t>(p.to)]++ == 0) {
+      receivers_.push_back(p.to);
+    }
+  }
+  std::sort(receivers_.begin(), receivers_.end());
+  std::int64_t offset = 0;
+  for (const Vertex v : receivers_) {
+    inbox_begin_[static_cast<std::size_t>(v)] = offset;
+    offset += recv_count_[static_cast<std::size_t>(v)];
+  }
+  if (arena_.size() < deliver_.size()) arena_.resize(deliver_.size());
+  for (const Staged& p : deliver_) {
     const auto to = static_cast<std::size_t>(p.to);
     arena_[static_cast<std::size_t>(inbox_begin_[to] + inbox_count_[to]++)] =
         p.rcv;
   }
-  // Deterministic processing order for receivers: sort each run by sender
-  // (unique per run — the per-edge cap admits one message per neighbour).
-  for (const Vertex v : pending_nodes_) {
-    const auto sv = static_cast<std::size_t>(v);
-    Received* const first =
-        arena_.data() + static_cast<std::size_t>(inbox_begin_[sv]);
-    std::sort(first, first + static_cast<std::size_t>(inbox_count_[sv]),
-              [](const Received& a, const Received& b) {
-                return a.from < b.from;
-              });
-    pending_count_[sv] = 0;
+  // Deterministic processing order for receivers: sort each run by sender.
+  for (const Vertex v : receivers_) {
+    sort_inbox_run(v);
+    recv_count_[static_cast<std::size_t>(v)] = 0;
   }
-  delivered_.swap(pending_nodes_);
-  pending_nodes_.clear();
-  pending_.clear();
-  ++stats_.rounds;
+  delivered_.swap(receivers_);
+  receivers_.clear();
+}
+
+void Network::scatter_parallel(util::ThreadPool& pool) {
+  // Sharded counting sort: shard s owns the contiguous batch chunk
+  // [m*s/S, m*(s+1)/S). Within a receiver's arena run, shard s's messages
+  // are written before shard s+1's, at each shard's precomputed cursor —
+  // so the run's content order equals the serial (batch) order exactly,
+  // and the per-run sender sort then matches the serial pass bit for bit.
+  const std::size_t shards = static_cast<std::size_t>(pool.parallelism());
+  const std::size_t m = deliver_.size();
+  const std::size_t n = static_cast<std::size_t>(graph_->num_vertices());
+  if (shard_count_.size() != shards) {
+    shard_count_.assign(shards, std::vector<std::int64_t>(n, 0));
+    shard_touched_.assign(shards, {});
+  }
+  if (receiver_stamp_.size() != n) receiver_stamp_.assign(n, -1);
+
+  // Pass 1 (parallel): per-shard destination counts.
+  pool.parallel_for(static_cast<int>(shards), [&](int s) {
+    const std::size_t su = static_cast<std::size_t>(s);
+    auto& count = shard_count_[su];
+    auto& touched = shard_touched_[su];
+    for (std::size_t i = m * su / shards; i < m * (su + 1) / shards; ++i) {
+      const auto to = static_cast<std::size_t>(deliver_[i].to);
+      if (count[to]++ == 0) touched.push_back(deliver_[i].to);
+    }
+  });
+
+  // Receivers: union of the touched lists, deduped by round stamp, then
+  // sorted ascending (the delivery contract).
+  for (const auto& touched : shard_touched_) {
+    for (const Vertex v : touched) {
+      if (receiver_stamp_[static_cast<std::size_t>(v)] != stats_.rounds) {
+        receiver_stamp_[static_cast<std::size_t>(v)] = stats_.rounds;
+        receivers_.push_back(v);
+      }
+    }
+  }
+  std::sort(receivers_.begin(), receivers_.end());
+
+  // Offsets: turn the per-shard counts into per-shard write cursors (an
+  // exclusive prefix sum across shards within each receiver's run).
+  std::int64_t offset = 0;
+  for (const Vertex v : receivers_) {
+    const auto sv = static_cast<std::size_t>(v);
+    inbox_begin_[sv] = offset;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::int64_t c = shard_count_[s][sv];
+      if (c != 0) {  // untouched (shard, v) slots must stay zero for reuse
+        shard_count_[s][sv] = offset;
+        offset += c;
+      }
+    }
+    inbox_count_[sv] = offset - inbox_begin_[sv];
+  }
+  if (arena_.size() < m) arena_.resize(m);
+
+  // Pass 2 (parallel): scatter at the cursors.
+  pool.parallel_for(static_cast<int>(shards), [&](int s) {
+    const std::size_t su = static_cast<std::size_t>(s);
+    auto& cursor = shard_count_[su];
+    for (std::size_t i = m * su / shards; i < m * (su + 1) / shards; ++i) {
+      arena_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(deliver_[i].to)]++)] =
+          deliver_[i].rcv;
+    }
+  });
+
+  // Pass 3 (parallel): per-run sender sorts, receivers partitioned across
+  // lanes; runs are independent, so order of execution is immaterial.
+  const std::size_t r = receivers_.size();
+  pool.parallel_for(static_cast<int>(shards), [&](int s) {
+    const std::size_t su = static_cast<std::size_t>(s);
+    for (std::size_t i = r * su / shards; i < r * (su + 1) / shards; ++i) {
+      sort_inbox_run(receivers_[i]);
+    }
+  });
+
+  // Reset the scratch counts (touched entries only).
+  pool.parallel_for(static_cast<int>(shards), [&](int s) {
+    const std::size_t su = static_cast<std::size_t>(s);
+    for (const Vertex v : shard_touched_[su]) {
+      shard_count_[su][static_cast<std::size_t>(v)] = 0;
+    }
+    shard_touched_[su].clear();
+  });
+
+  delivered_.swap(receivers_);
+  receivers_.clear();
 }
 
 void Network::advance_rounds(std::int64_t k) {

@@ -16,10 +16,19 @@
 //
 // Storage is a pair of double-buffered flat arenas rather than per-vertex
 // queues: sends append to a contiguous staging buffer, and advance_round()
-// counting-sorts it into a CSR-shaped delivery arena (one contiguous
-// Received run per receiving vertex). All buffers are reused across rounds,
-// so round advancement performs no heap allocation once the per-round
-// traffic high-water mark has been reached.
+// counting-sorts the round's delivery batch into a CSR-shaped arena (one
+// contiguous Received run per receiving vertex). All buffers are reused
+// across rounds, so round advancement performs no heap allocation once the
+// per-round traffic high-water mark has been reached. Sufficiently large
+// batches are counting-sorted in parallel on the execution thread pool,
+// with delivery order bit-identical to the serial pass.
+//
+// What happens to a staged message *between* the send and the next round's
+// inbox is delegated to a pluggable DeliveryModel (congest/transport.hpp):
+// the default Ideal model delivers everything exactly once next round (the
+// classic synchronous CONGEST semantics, bit-for-bit the pre-transport
+// engine); Faulty and Async inject seeded drops/duplicates and per-message
+// latencies. configure_transport() installs a model.
 
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +45,9 @@ class ThreadPool;
 }  // namespace usne::util
 
 namespace usne::congest {
+
+class DeliveryModel;
+struct TransportSpec;
 
 /// One machine word as transmitted on an edge.
 using Word = std::int64_t;
@@ -68,6 +80,13 @@ struct Received {
   Message msg;
 };
 
+/// A staged message: recipient plus the Received it will become. The unit
+/// the transport layer (DeliveryModel) operates on.
+struct Staged {
+  Vertex to = -1;
+  Received rcv;
+};
+
 /// Thrown when an algorithm violates the CONGEST constraints.
 class CongestViolation : public std::logic_error {
  public:
@@ -87,11 +106,13 @@ class Network {
  public:
   /// Throws std::invalid_argument on an empty graph (a CONGEST network
   /// needs at least one processor; edge-slot arithmetic assumes n > 0).
+  /// Starts with the Ideal delivery model installed.
   explicit Network(const Graph& g);
   ~Network();
 
-  // Movable, not copyable. Defined in network.cpp where ThreadPool is
-  // complete (the in-class default would not compile for clients).
+  // Movable, not copyable. Defined in network.cpp where ThreadPool and
+  // DeliveryModel are complete (the in-class default would not compile for
+  // clients).
   Network(Network&&) noexcept;
   Network& operator=(Network&&) noexcept;
 
@@ -109,6 +130,21 @@ class Network {
   /// created on first use; nullptr while execution_threads() == 1.
   util::ThreadPool* thread_pool();
 
+  /// Installs the delivery model described by `spec` (validates it first).
+  /// Must be called while the network is quiescent — throws
+  /// std::logic_error if messages are staged or in flight (a model swap
+  /// would strand them).
+  void configure_transport(const TransportSpec& spec);
+
+  /// The installed delivery model (Ideal unless configure_transport said
+  /// otherwise). Exposes kind()/name()/counters().
+  const DeliveryModel& transport() const noexcept { return *model_; }
+
+  /// Messages the transport holds for delivery in a later round (Async's
+  /// latency wheel; 0 for Ideal/Faulty). Quiescence for the Scheduler is
+  /// pending_messages() + in_flight() == 0.
+  std::int64_t in_flight() const noexcept;
+
   /// Sends `msg` from `from` to neighbouring vertex `to` for delivery at the
   /// start of the next round. Throws CongestViolation if (from,to) is not an
   /// edge, the message exceeds kMaxWords, or a second message is sent on the
@@ -118,7 +154,8 @@ class Network {
   /// Sends `msg` from `from` to every neighbour (one message per edge).
   void broadcast(Vertex from, const Message& msg);
 
-  /// Ends the current round: delivers all pending messages.
+  /// Ends the current round: hands the staged sends to the delivery model
+  /// and materializes the model's batch in the inboxes.
   void advance_round();
 
   /// Advances `k` rounds (the first delivers pending messages; the rest are
@@ -140,8 +177,15 @@ class Network {
     return delivered_;
   }
 
-  /// Messages staged for the next round but not yet delivered. A program
-  /// must end with zero (the Scheduler enforces this): anything left here
+  /// Messages in the current round's delivery batch (the Scheduler's
+  /// min-work signal for the parallel fan-out cutoff).
+  std::int64_t delivered_messages() const noexcept {
+    return delivered_messages_;
+  }
+
+  /// Messages staged for the next round but not yet handed to the
+  /// transport. A program must end with zero staged and zero in-flight
+  /// messages (the Scheduler enforces / drains this): anything left here
   /// would silently leak into the next program run on the same network.
   std::int64_t pending_messages() const noexcept {
     return static_cast<std::int64_t>(pending_.size());
@@ -150,32 +194,44 @@ class Network {
   const NetworkStats& stats() const noexcept { return stats_; }
 
  private:
-  /// A staged message: recipient plus the Received it will become.
-  struct Pending {
-    Vertex to = -1;
-    Received rcv;
-  };
-
   std::int64_t directed_edge_id(Vertex from, Vertex to) const;
+
+  /// Counting-sorts deliver_ into the arena (receivers ascending, one
+  /// contiguous run each, runs sorted by sender) and fills delivered_.
+  void scatter_serial();
+  void scatter_parallel(util::ThreadPool& pool);
+  void sort_inbox_run(Vertex v);
 
   const Graph* graph_ = nullptr;
   // Double-buffered arenas: sends of the current round append to pending_
-  // (flat, send order); advance_round() counting-sorts it into arena_ (flat,
-  // CSR by receiver, addressed by inbox_begin_/inbox_count_).
-  std::vector<Pending> pending_;
+  // (flat, send order); advance_round() hands pending_ to the delivery
+  // model, which fills deliver_ (this round's batch), and counting-sorts
+  // deliver_ into arena_ (flat, CSR by receiver, addressed by
+  // inbox_begin_/inbox_count_).
+  std::vector<Staged> pending_;
+  std::vector<Staged> deliver_;
   std::vector<Received> arena_;
   std::vector<std::int64_t> inbox_begin_;     // per-vertex offset into arena_
   std::vector<std::int64_t> inbox_count_;     // per-vertex run length
-  std::vector<std::int64_t> pending_count_;   // per-vertex staged count
+  std::vector<std::int64_t> recv_count_;      // per-vertex batch count (scratch)
   std::vector<Vertex> delivered_;             // nodes with non-empty inbox
-  std::vector<Vertex> pending_nodes_;         // nodes with staged messages
+  std::vector<Vertex> receivers_;             // scratch: batch receivers
+  std::int64_t delivered_messages_ = 0;       // size of the current batch
   // Per-directed-edge round stamp for the one-message-per-edge cap; lazily
   // reset by comparing against the current round number.
   std::vector<std::int64_t> edge_round_stamp_;
   NetworkStats stats_;
+  // The transport policy (never null; Ideal by default).
+  std::unique_ptr<DeliveryModel> model_;
   // Execution policy for the Scheduler (see set_execution_threads).
   int exec_threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;
+  // Parallel counting-sort scratch, lazily sized on the first large batch:
+  // per-shard destination counts (doubling as write cursors) and touched
+  // lists, plus a round-stamped receiver dedup.
+  std::vector<std::vector<std::int64_t>> shard_count_;
+  std::vector<std::vector<Vertex>> shard_touched_;
+  std::vector<std::int64_t> receiver_stamp_;
 };
 
 }  // namespace usne::congest

@@ -1,0 +1,185 @@
+#include "congest/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace usne::congest {
+namespace {
+
+// Salt separating the duplicate decision from the drop decision of the
+// same message (both derive from the same per-message hash).
+constexpr std::uint64_t kDupSalt = 0xd1bd1bd1bd1bd1bULL;
+
+/// One SplitMix64 step combining an accumulator with the next key word.
+std::uint64_t mix(std::uint64_t acc, std::uint64_t word) noexcept {
+  return SplitMix64(acc ^ (word + 0x9e3779b97f4a7c15ULL)).next();
+}
+
+/// Stateless per-message hash: a pure function of (seed, round, from, to).
+/// The CONGEST per-edge cap admits one send per directed edge per round,
+/// so this identifies a staged message uniquely — and makes every
+/// transport decision independent of batch order and thread count.
+std::uint64_t message_hash(std::uint64_t seed, std::int64_t round,
+                           Vertex from, Vertex to) noexcept {
+  std::uint64_t h = mix(seed, static_cast<std::uint64_t>(round));
+  h = mix(h, static_cast<std::uint64_t>(from));
+  return mix(h, static_cast<std::uint64_t>(to));
+}
+
+/// Uniform double in [0, 1) from a hash value.
+double u01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Today's lossless synchronous path: the staged buffer *is* the delivery
+/// batch. A vector swap — no copy, no allocation, bit-for-bit the
+/// pre-transport engine.
+class IdealModel final : public DeliveryModel {
+ public:
+  TransportModel kind() const noexcept override {
+    return TransportModel::kIdeal;
+  }
+
+  bool unique_senders_per_round() const noexcept override { return true; }
+
+  void collect(std::int64_t, std::vector<Staged>& staged,
+               std::vector<Staged>& deliver) override {
+    deliver.swap(staged);
+    staged.clear();
+  }
+};
+
+/// Seeded per-message drop/duplicate policy. Duplicates are appended after
+/// every surviving original, so a duplicated message is delivered out of
+/// staging order (the injected reordering); the arena's stable per-run
+/// sort then keeps original-before-copy within a sender.
+class FaultyModel final : public DeliveryModel {
+ public:
+  explicit FaultyModel(const TransportSpec& spec) : spec_(spec) {}
+
+  TransportModel kind() const noexcept override {
+    return TransportModel::kFaulty;
+  }
+
+  void collect(std::int64_t round, std::vector<Staged>& staged,
+               std::vector<Staged>& deliver) override {
+    dups_.clear();
+    for (const Staged& s : staged) {
+      const std::uint64_t h =
+          message_hash(spec_.seed, round, s.rcv.from, s.to);
+      if (u01(h) < spec_.drop_p) {
+        ++counters_.dropped;
+        continue;
+      }
+      deliver.push_back(s);
+      if (spec_.dup_p > 0 && u01(mix(h, kDupSalt)) < spec_.dup_p) {
+        dups_.push_back(s);
+        ++counters_.duplicated;
+      }
+    }
+    deliver.insert(deliver.end(), dups_.begin(), dups_.end());
+    staged.clear();
+  }
+
+ private:
+  TransportSpec spec_;
+  std::vector<Staged> dups_;  // reused per-round copy buffer
+};
+
+/// Per-message integer latency on a round-indexed wheel: slot k of the
+/// wheel holds the messages landing k rounds from now. collect() files the
+/// staged messages by drawn latency, then swaps out the head slot. Staging
+/// rounds are filed in order, so a slot's batch is ordered by (staging
+/// round, staging order) — deterministic for any thread count.
+class AsyncModel final : public DeliveryModel {
+ public:
+  explicit AsyncModel(const TransportSpec& spec)
+      : spec_(spec), wheel_(static_cast<std::size_t>(spec.latency_max)) {}
+
+  TransportModel kind() const noexcept override {
+    return TransportModel::kAsync;
+  }
+
+  std::int64_t in_flight() const noexcept override { return held_; }
+
+  void collect(std::int64_t round, std::vector<Staged>& staged,
+               std::vector<Staged>& deliver) override {
+    const std::size_t slots = wheel_.size();
+    for (const Staged& s : staged) {
+      const std::uint64_t h =
+          message_hash(spec_.seed, round, s.rcv.from, s.to);
+      const std::int64_t latency =
+          1 + static_cast<std::int64_t>(h % static_cast<std::uint64_t>(slots));
+      if (latency > 1) {
+        ++counters_.delayed;
+        counters_.delay_rounds += latency - 1;
+      }
+      wheel_[(head_ + static_cast<std::size_t>(latency) - 1) % slots].push_back(
+          s);
+      ++held_;
+    }
+    staged.clear();
+    deliver.swap(wheel_[head_]);
+    wheel_[head_].clear();
+    held_ -= static_cast<std::int64_t>(deliver.size());
+    head_ = (head_ + 1) % slots;
+  }
+
+ private:
+  TransportSpec spec_;
+  std::vector<std::vector<Staged>> wheel_;  // slot k = deliver in k rounds
+  std::size_t head_ = 0;                    // slot delivered next
+  std::int64_t held_ = 0;                   // messages riding the wheel
+};
+
+}  // namespace
+
+const char* transport_model_name(TransportModel model) noexcept {
+  switch (model) {
+    case TransportModel::kIdeal:
+      return "ideal";
+    case TransportModel::kFaulty:
+      return "faulty";
+    case TransportModel::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+TransportModel parse_transport_model(const std::string& name) {
+  if (name == "ideal") return TransportModel::kIdeal;
+  if (name == "faulty") return TransportModel::kFaulty;
+  if (name == "async") return TransportModel::kAsync;
+  throw std::invalid_argument("unknown transport model '" + name +
+                              "'; known: ideal faulty async");
+}
+
+void TransportSpec::validate() const {
+  if (!(drop_p >= 0.0 && drop_p <= 1.0)) {
+    throw std::invalid_argument("transport drop_p must be in [0, 1]");
+  }
+  if (!(dup_p >= 0.0 && dup_p <= 1.0)) {
+    throw std::invalid_argument("transport dup_p must be in [0, 1]");
+  }
+  if (latency_max < 1 || latency_max > (1 << 20)) {
+    throw std::invalid_argument(
+        "transport latency_max must be in [1, 2^20] rounds");
+  }
+}
+
+std::unique_ptr<DeliveryModel> make_delivery_model(const TransportSpec& spec) {
+  spec.validate();
+  switch (spec.model) {
+    case TransportModel::kIdeal:
+      return std::make_unique<IdealModel>();
+    case TransportModel::kFaulty:
+      return std::make_unique<FaultyModel>(spec);
+    case TransportModel::kAsync:
+      return std::make_unique<AsyncModel>(spec);
+  }
+  throw std::invalid_argument("unknown transport model");
+}
+
+}  // namespace usne::congest

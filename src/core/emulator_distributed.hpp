@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "core/cluster.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
@@ -55,6 +56,14 @@ struct DistributedOptions {
   /// word counts and every output are bit-for-bit identical for any value
   /// — only wall-clock time changes.
   int num_threads = 1;
+
+  /// Delivery model for the simulated links (congest/transport.hpp).
+  /// Ideal (the default) reproduces the classic synchronous CONGEST
+  /// semantics bit-for-bit; Faulty/Async inject seeded drops/duplicates
+  /// and latencies — the construction then runs its fixed schedule over
+  /// degraded traffic (deterministically for a fixed seed at any thread
+  /// count), which is the robustness workload, not a correctness claim.
+  congest::TransportSpec transport{};
 };
 
 /// Result of a distributed build: the usual audit bundle plus network
@@ -62,6 +71,9 @@ struct DistributedOptions {
 struct DistributedBuildResult {
   BuildResult base;
   congest::NetworkStats net;
+
+  /// Injected-event counters of the delivery model (all zero under Ideal).
+  congest::TransportCounters transport;
 
   /// local[v] = edges (other, weight) that vertex v learned about through
   /// the protocol. Every emulator edge (u,v,w) must appear in local[u] and

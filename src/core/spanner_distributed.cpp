@@ -249,7 +249,8 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
                                     const PhaseSchedule& sched,
                                     const std::vector<Dist>& rul,
                                     std::int64_t ruling_base,
-                                    bool keep_audit_data, int num_threads) {
+                                    bool keep_audit_data, int num_threads,
+                                    const congest::TransportSpec& transport) {
   const Vertex n = g.num_vertices();
   if (params_n != n) {
     throw std::invalid_argument("params were computed for a different n");
@@ -263,6 +264,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
 
   Network net(g);
   net.set_execution_threads(num_threads);
+  net.configure_transport(transport);
   Scheduler scheduler(net);
   std::vector<Cluster> current = singleton_partition(n);
   if (keep_audit_data) out.base.partitions.push_back(current);
@@ -382,24 +384,26 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
   assert(current.empty());
   out.base.total_rounds = net.stats().rounds;
   out.net = net.stats();
+  out.transport = net.transport().counters();
   return out;
 }
 
 }  // namespace
 
-DistributedSpannerResult build_spanner_congest(const Graph& g,
-                                               const SpannerParams& params,
-                                               bool keep_audit_data,
-                                               int num_threads) {
+DistributedSpannerResult build_spanner_congest(
+    const Graph& g, const SpannerParams& params, bool keep_audit_data,
+    int num_threads, const congest::TransportSpec& transport) {
   return build_impl(g, params.n, params.schedule, params.rul,
-                    params.ruling_base, keep_audit_data, num_threads);
+                    params.ruling_base, keep_audit_data, num_threads,
+                    transport);
 }
 
 DistributedSpannerResult build_spanner_congest_em19(
     const Graph& g, const DistributedParams& params, bool keep_audit_data,
-    int num_threads) {
+    int num_threads, const congest::TransportSpec& transport) {
   return build_impl(g, params.n, params.schedule, params.rul,
-                    params.ruling_base, keep_audit_data, num_threads);
+                    params.ruling_base, keep_audit_data, num_threads,
+                    transport);
 }
 
 }  // namespace usne

@@ -22,6 +22,7 @@
 // DistributedParams (the [EM19] baseline, for round-for-round comparison).
 
 #include "congest/network.hpp"
+#include "congest/transport.hpp"
 #include "core/cluster.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
@@ -31,19 +32,26 @@ namespace usne {
 struct DistributedSpannerResult {
   BuildResult base;
   congest::NetworkStats net;
+
+  /// Injected-event counters of the delivery model (all zero under Ideal).
+  congest::TransportCounters transport;
 };
 
 /// §4 spanner (EN17a-style degree sequence) in CONGEST. `num_threads`
 /// selects the engine's parallel round fan-out (1 = serial, 0 = hardware
 /// concurrency); results are bit-for-bit identical for any value.
-DistributedSpannerResult build_spanner_congest(const Graph& g,
-                                               const SpannerParams& params,
-                                               bool keep_audit_data = true,
-                                               int num_threads = 1);
+/// `transport` selects the delivery model (congest/transport.hpp): Ideal
+/// (the default) is the classic synchronous semantics; Faulty/Async run
+/// the same fixed schedule over seeded drops/duplicates/latencies,
+/// deterministically for a fixed seed at any thread count.
+DistributedSpannerResult build_spanner_congest(
+    const Graph& g, const SpannerParams& params, bool keep_audit_data = true,
+    int num_threads = 1, const congest::TransportSpec& transport = {});
 
 /// [EM19] baseline (§3 degree sequence) in CONGEST.
 DistributedSpannerResult build_spanner_congest_em19(
     const Graph& g, const DistributedParams& params,
-    bool keep_audit_data = true, int num_threads = 1);
+    bool keep_audit_data = true, int num_threads = 1,
+    const congest::TransportSpec& transport = {});
 
 }  // namespace usne

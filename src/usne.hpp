@@ -28,6 +28,7 @@
 #include "congest/flood.hpp"
 #include "congest/network.hpp"
 #include "congest/ruling_set.hpp"
+#include "congest/transport.hpp"
 #include "core/audit.hpp"
 #include "core/cluster.hpp"
 #include "core/emulator_centralized.hpp"
