@@ -1,0 +1,246 @@
+// Experiment E9 — query-serving throughput (the paper's §1.1 application
+// at serving scale).
+//
+// Claim: batched multi-threaded serving through serve::QueryEngine beats
+// the legacy serial oracle loop (single-entry SSSP cache, one query at a
+// time) by a wide margin on interleaved-source streams (zipf, uniform,
+// point_vs_all) — the sharded LRU cache pays one Dial SSSP per distinct
+// source where the single-entry cache thrashes. On a perfectly grouped
+// stream the single-entry cache is already SSSP-optimal; the engine's
+// value there is thread-scaling and thread-safety, not fewer SSSPs (see
+// the interpretation note).
+//
+// Hard gates (exit 1, not hopes):
+//   * cached, uncached, serial and multi-threaded answers are bit-identical
+//     per query (and therefore share one checksum);
+//   * the engine's answers equal the legacy oracle loop's answers.
+//
+// With --json FILE the per-row serving records are written as
+// BENCH_serve.json — the cross-PR throughput trajectory; scripts/check.sh
+// diffs the row *counts* (wall times move with the hardware, the scenario
+// list must not drift silently).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/build.hpp"
+#include "bench_common.hpp"
+#include "path/dijkstra.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/stats.hpp"
+#include "serve/workload.hpp"
+
+namespace usne {
+namespace {
+
+/// The pre-serve oracle loop, verbatim semantics: one mutable single-entry
+/// SSSP cache, queries answered one at a time on one thread. The baseline
+/// every engine row is measured against.
+class LegacySerialOracle {
+ public:
+  explicit LegacySerialOracle(const WeightedGraph& h) : h_(&h) {}
+
+  Dist query(Vertex u, Vertex v) {
+    if (cached_source_ && *cached_source_ == v) {
+      return cached_dist_[static_cast<std::size_t>(u)];
+    }
+    if (!cached_source_ || *cached_source_ != u) {
+      cached_dist_ = dial_sssp(*h_, u);
+      cached_source_ = u;
+      ++sssp_runs_;
+    }
+    return cached_dist_[static_cast<std::size_t>(v)];
+  }
+
+  /// Single-source (all) query: the legacy loop pays a fresh SSSP, folded
+  /// to the same checksum the engine's batch records.
+  Dist query_all_checksum(Vertex u) {
+    ++sssp_runs_;
+    return serve::checksum_fold(dial_sssp(*h_, u));
+  }
+
+  std::int64_t sssp_runs() const { return sssp_runs_; }
+
+ private:
+  const WeightedGraph* h_;
+  std::optional<Vertex> cached_source_;
+  std::vector<Dist> cached_dist_;
+  std::int64_t sssp_runs_ = 0;
+};
+
+}  // namespace
+}  // namespace usne
+
+int main(int argc, char** argv) {
+  using namespace usne;
+  std::string json_path;
+  int threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const std::string arg = argv[++i];
+      threads = arg == "max" ? 0 : static_cast<int>(std::stol(arg));
+    } else {
+      std::cerr << "usage: bench_query_throughput [--json FILE] "
+                   "[--threads N|max]\n";
+      return 2;
+    }
+  }
+  if (threads == 0) {
+    threads = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  }
+
+  bench::banner("E9  bench_query_throughput",
+                "Serving the emulator: multi-threaded batched queries with a "
+                "sharded SSSP cache vs the legacy serial oracle loop; "
+                "cached/uncached/parallel answers bit-identical.");
+  Timer total;
+  bool failed = false;
+
+  // One preprocessed emulator serves every workload row (that is the
+  // serving scenario: build once, answer forever).
+  const Vertex n = 2048;
+  const Graph g = gen_connected_gnm(n, 8 * static_cast<std::int64_t>(n), 2024);
+  BuildSpec spec;
+  spec.algorithm = "emulator_fast";
+  spec.params = {0, 22, 0.25, 0.3, false};
+  spec.exec.keep_audit_data = false;
+  const BuildOutput built = build(g, spec);
+
+  struct Row {
+    serve::WorkloadKind kind;
+    std::int64_t queries;
+  };
+  Table table({"workload", "queries", "oracle_qps", "engine1_qps",
+               "engineT_qps", "speedup", "sssp_oracle", "sssp_engine",
+               "hit_rate", "identical"});
+  std::string json;
+  for (const Row& row : {Row{serve::WorkloadKind::kZipf, 20000},
+                         Row{serve::WorkloadKind::kUniform, 4000},
+                         Row{serve::WorkloadKind::kGrouped, 20000},
+                         Row{serve::WorkloadKind::kPointVsAll, 4000}}) {
+    serve::WorkloadSpec workload;
+    workload.kind = row.kind;
+    workload.num_queries = row.queries;
+    workload.seed = 42;
+    const std::vector<serve::Query> queries =
+        serve::generate_workload(n, workload);
+
+    // Baseline: the legacy serial oracle loop (all-queries answered by one
+    // SSSP + checksum fold, matching the engine's batch semantics).
+    serve::QueryEngine uncached(built, {.cache_mb = 0});
+    LegacySerialOracle oracle(built.h());
+    std::vector<Dist> oracle_answers(queries.size());
+    Timer oracle_timer;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const serve::Query& q = queries[i];
+      oracle_answers[i] = q.all ? oracle.query_all_checksum(q.u)
+                                : oracle.query(q.u, q.v);
+    }
+    const double oracle_s = oracle_timer.seconds();
+    const double oracle_qps =
+        oracle_s > 0 ? static_cast<double>(queries.size()) / oracle_s : 0;
+
+    // Engine rows: serial, multi-threaded, and uncached reference. The
+    // parallel batch gets its own cold engine so its SSSP count and qps are
+    // not flattered by the serial batch having warmed the cache.
+    serve::QueryEngine engine(built, {.cache_mb = 64});
+    serve::QueryEngine cold(built, {.cache_mb = 64});
+    const serve::BatchResult serial = engine.serve(queries, 1);
+    const serve::BatchResult parallel = cold.serve(queries, threads);
+    const serve::BatchResult reference = uncached.serve(queries, threads);
+
+    const bool identical = serial.answers == parallel.answers &&
+                           serial.answers == reference.answers &&
+                           serial.answers == oracle_answers;
+    if (!identical) {
+      std::cerr << "FAIL: answers diverge (cached/uncached/serial/parallel/"
+                   "legacy) on workload "
+                << serve::workload_kind_name(row.kind) << "\n";
+      failed = true;
+    }
+
+    const double speedup = parallel.qps > 0 && oracle_qps > 0
+                               ? parallel.qps / oracle_qps
+                               : 0;
+    const std::int64_t batch_queries =
+        parallel.point_queries + parallel.all_queries;
+    const double hit_rate =
+        batch_queries > 0 ? static_cast<double>(parallel.cache.hits) /
+                                static_cast<double>(batch_queries)
+                          : 0;
+    table.row()
+        .add(serve::workload_kind_name(row.kind))
+        .add(row.queries)
+        .add(oracle_qps, 0)
+        .add(serial.qps, 0)
+        .add(parallel.qps, 0)
+        .add(speedup, 2)
+        .add(oracle.sssp_runs())
+        .add(parallel.cache.sssp_runs)
+        .add(hit_rate, 3)
+        .add(identical ? "yes" : "NO");
+
+    if (!json.empty()) json += ",\n";
+    json += "    {\"workload\": \"" +
+            std::string(serve::workload_kind_name(row.kind)) +
+            "\", \"n\": " + std::to_string(n) +
+            ", \"queries\": " + std::to_string(row.queries) +
+            ", \"workload_seed\": 42, \"threads\": " + std::to_string(threads) +
+            ", \"checksum\": " + std::to_string(parallel.checksum) +
+            ", \"sssp_oracle\": " + std::to_string(oracle.sssp_runs()) +
+            ", \"sssp_engine\": " + std::to_string(parallel.cache.sssp_runs) +
+            ", \"oracle_qps\": " + format_double(oracle_qps, 0) +
+            ", \"engine_serial_qps\": " + format_double(serial.qps, 0) +
+            ", \"engine_parallel_qps\": " + format_double(parallel.qps, 0) +
+            ", \"speedup_vs_oracle\": " + format_double(speedup, 2) + "}";
+  }
+  table.print(std::cout, "E9: serving throughput (er-connected, n=2048, "
+                         "|H| = " + std::to_string(built.h().num_edges()) +
+                         ", threads=" + std::to_string(threads) + ")");
+
+  // Answer-quality spot check on the zipf workload.
+  {
+    serve::WorkloadSpec workload;
+    workload.kind = serve::WorkloadKind::kZipf;
+    workload.num_queries = 512;
+    workload.seed = 42;
+    serve::QueryEngine engine(built, {});
+    const auto queries = serve::generate_workload(n, workload);
+    const serve::StretchSample stretch =
+        serve::sample_query_stretch(g, engine, queries, 128);
+    std::cout << "stretch sample: " << stretch.pairs << " pairs, "
+              << stretch.violations << " violations, " << stretch.underruns
+              << " underruns, max additive " << stretch.max_additive << "\n";
+    if (!stretch.ok()) {
+      std::cerr << "FAIL: stretch guarantee violated while serving\n";
+      failed = true;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"query_throughput\",\n  \"threads\": " << threads
+        << ",\n  \"rows\": [\n" << json << "\n  ]\n}\n";
+    std::cout << "\n[wrote " << json_path << "]\n";
+  }
+
+  bench::note("Interpretation: 'speedup' is engineT_qps / oracle_qps, both "
+              "cold-cache. On interleaved-source streams (zipf, uniform, "
+              "point_vs_all) the single-entry legacy cache thrashes — one "
+              "SSSP per query — while the sharded cache pays one per "
+              "distinct source; that dominates any thread count. On a "
+              "perfectly grouped stream the single-entry cache is already "
+              "optimal, so the engine's value there is thread-scaling and "
+              "thread-safety, not fewer SSSPs. 'identical' certifies "
+              "cached, uncached, serial, parallel and legacy answers agree "
+              "bit-for-bit.");
+  std::cout << "\n[E9 done in " << format_double(total.seconds(), 1) << "s]\n";
+  return failed ? 1 : 0;
+}

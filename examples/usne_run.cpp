@@ -1,5 +1,7 @@
 // usne_run — build any registered construction from CLI flags through the
-// unified API (api/build.hpp) and emit the uniform stats JSON.
+// unified API (api/build.hpp) and emit the uniform stats JSON; with the
+// `query` subcommand, additionally serve a reproducible distance-query
+// workload against the built H through serve::QueryEngine.
 //
 //   ./usne_run --list                     enumerate registered algorithms
 //   ./usne_run --describe spanner         metadata for one algorithm
@@ -9,11 +11,16 @@
 //              --dup-p 0.02 --transport-seed 7      (lossy links)
 //   ./usne_run --algo emulator_congest --transport async --latency-max 4
 //              --transport-seed 7                   (variable latency)
+//   ./usne_run query --algo emulator_fast --family er --n 1024
+//              --workload zipf --queries 10000 --qps-threads 4 --cache-mb 8
+//              --workload-seed 42 --stretch-sample 200 --json -
 //
-// The JSON record embeds BuildOutput::stats_json(), so the counters
+// The build JSON record embeds BuildOutput::stats_json(), so the counters
 // (edges/phases, and rounds/messages/words for CONGEST variants) are the
 // same uniform StatsMap every other consumer of the API sees; the
 // scripts/check.sh registry smoke pass diffs them against BENCH_congest.json.
+// The query JSON record embeds BatchResult::stats_json() — its `checksum`
+// over all answers is the seed-stability probe of the check.sh serve smoke.
 
 #include <fstream>
 #include <iostream>
@@ -22,7 +29,11 @@
 
 #include "api/build.hpp"
 #include "graph/generators.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/stats.hpp"
+#include "serve/workload.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -45,6 +56,107 @@ int main(int argc, char** argv) {
 
 namespace {
 
+/// `usne_run query`: wrap the built H in a QueryEngine, expand the
+/// requested workload, serve it, and report throughput + answer quality.
+int run_query(const usne::Cli& cli, const usne::Graph& g,
+              const usne::BuildSpec& spec, const usne::BuildOutput& built,
+              const std::string& family, std::uint64_t seed, double build_s) {
+  using namespace usne;
+
+  serve::WorkloadSpec workload;
+  workload.kind = serve::parse_workload_kind(cli.get("workload", "zipf"));
+  workload.num_queries = cli.get_int("queries", 10000);
+  workload.seed = static_cast<std::uint64_t>(cli.get_int("workload-seed", 42));
+  workload.zipf_s = cli.get_double("zipf-s", 1.1);
+  workload.group_size = cli.get_int("group-size", 64);
+  workload.all_fraction = cli.get_double("all-fraction", 0.05);
+
+  serve::ServeOptions options;
+  options.cache_mb = cli.get_double("cache-mb", 64.0);
+  options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 0));
+  const int qps_threads = static_cast<int>(cli.get_int("qps-threads", 1));
+  // The stretch gate only applies where a stretch claim exists: randomized
+  // baselines carry no per-instance guarantee (has_guarantee = false), and
+  // builds under a non-ideal transport are robustness workloads whose
+  // outputs deliberately void the (alpha, beta) claim (see README).
+  const bool check_stretch =
+      built.has_guarantee &&
+      spec.exec.transport.model == congest::TransportModel::kIdeal;
+  const std::int64_t stretch_pairs =
+      check_stretch ? cli.get_int("stretch-sample", 100) : 0;
+
+  const serve::QueryEngine engine(built, options);
+  const std::vector<serve::Query> queries =
+      serve::generate_workload(g.num_vertices(), workload);
+  const serve::BatchResult batch = engine.serve(queries, qps_threads);
+  const serve::StretchSample stretch =
+      stretch_pairs > 0
+          ? serve::sample_query_stretch(g, engine, queries, stretch_pairs)
+          : serve::StretchSample{};
+
+  std::cout << "serve: " << spec.algorithm << " on " << family
+            << ", n = " << g.num_vertices() << ", |H| = "
+            << built.h().num_edges() << "  (built in "
+            << format_double(build_s, 2) << "s)\n"
+            << "workload: " << serve::workload_kind_name(workload.kind)
+            << ", " << queries.size() << " queries (seed " << workload.seed
+            << "), threads = " << qps_threads << ", cache = ";
+  if (options.cache_mb > 0) {
+    std::cout << format_double(options.cache_mb, 1) << " MiB\n";
+  } else {
+    std::cout << "off\n";
+  }
+  std::cout << "throughput: " << format_double(batch.qps, 0) << " qps  ("
+            << format_double(batch.wall_s * 1e3, 1) << " ms; "
+            << batch.cache.sssp_runs << " SSSP runs, "
+            << batch.cache.hits << " cache hits, " << batch.cache.evictions
+            << " evictions)\n"
+            << "checksum: " << batch.checksum << '\n';
+  if (stretch_pairs > 0) {
+    std::cout << "stretch sample: " << stretch.pairs << " pairs vs BFS on G, "
+              << stretch.violations << " violations, " << stretch.underruns
+              << " underruns (guarantee d <= "
+              << format_double(engine.alpha(), 3) << " * d_G + "
+              << engine.beta() << ")\n";
+    if (!stretch.ok()) {
+      std::cerr << "error: stretch guarantee violated\n";
+      return 1;
+    }
+  } else if (!check_stretch) {
+    std::cout << "stretch sample: skipped (this build carries no stretch "
+                 "guarantee)\n";
+  }
+
+  if (cli.has("json")) {
+    std::ostringstream record;
+    record << "{\"driver\": \"usne_run\", \"mode\": \"query\", \"algo\": \""
+           << spec.algorithm << "\", \"family\": \"" << family
+           << "\", \"n\": " << g.num_vertices()
+           << ", \"kappa\": " << spec.params.kappa << ", \"seed\": " << seed
+           << ", \"workload\": \"" << serve::workload_kind_name(workload.kind)
+           << "\", \"workload_seed\": " << workload.seed
+           << ", \"qps_threads\": " << qps_threads
+           << ", \"cache_mb\": " << format_double(options.cache_mb, 2)
+           << ", \"edges\": " << built.h().num_edges()
+           << ", \"serve\": " << batch.stats_json()
+           << ", \"stretch\": " << stretch.stats_json() << "}\n";
+    const std::string path = cli.get("json", "-");
+    if (path == "-") {
+      std::cout << record.str();
+    } else {
+      std::ofstream file(path);
+      file << record.str();
+      file.flush();
+      if (!file) {
+        std::cerr << "error: could not write " << path << '\n';
+        return 1;
+      }
+      std::cout << "[wrote " << path << "]\n";
+    }
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   using namespace usne;
   Cli cli(argc, argv,
@@ -65,7 +177,17 @@ int run(int argc, char** argv) {
            {"drop-p", "faulty: per-message drop probability (default 0)"},
            {"dup-p", "faulty: per-message duplicate probability (default 0)"},
            {"latency-max", "async: latency uniform in [1, L] rounds (default 1)"},
-           {"transport-seed", "seed of the transport hash (default 1)"}},
+           {"transport-seed", "seed of the transport hash (default 1)"},
+           {"workload", "query: uniform|zipf|grouped|point_vs_all (default zipf)"},
+           {"queries", "query: workload size (default 10000)"},
+           {"workload-seed", "query: workload generator seed (default 42)"},
+           {"zipf-s", "query: zipf source exponent (default 1.1)"},
+           {"group-size", "query: grouped run length (default 64)"},
+           {"all-fraction", "query: point_vs_all SSSP fraction (default 0.05)"},
+           {"qps-threads", "query: serving lanes, 0 = hardware (default 1)"},
+           {"cache-mb", "query: SSSP cache budget in MiB, <=0 off (default 64)"},
+           {"cache-shards", "query: cache lock shards (default 16)"},
+           {"stretch-sample", "query: pairs stretch-checked vs BFS on G (default 100)"}},
           /*allow_positional=*/true,
           /*switches=*/{"list", "rescale", "audit"});
   if (cli.help_requested() || !cli.errors().empty()) {
@@ -91,11 +213,22 @@ int run(int argc, char** argv) {
     return 0;
   }
 
+  // `usne_run query ...` switches to serving mode after the build.
+  const bool query_mode =
+      !cli.positional().empty() && cli.positional().front() == "query";
+
   BuildSpec spec;
   spec.algorithm = cli.get("algo", "");
-  // A bare positional is accepted as the algorithm name: `usne_run spanner`.
-  if (spec.algorithm.empty() && !cli.positional().empty()) {
-    spec.algorithm = cli.positional().front();
+  // A bare positional is accepted as the algorithm name: `usne_run spanner`
+  // (in query mode the algorithm may follow the subcommand).
+  if (spec.algorithm.empty()) {
+    const std::size_t positional_algo = query_mode ? 1 : 0;
+    if (cli.positional().size() > positional_algo) {
+      spec.algorithm = cli.positional()[positional_algo];
+    }
+  }
+  if (spec.algorithm.empty() && query_mode) {
+    spec.algorithm = "emulator_fast";  // the oracle's default builder
   }
   if (spec.algorithm.empty()) {
     std::cerr << "error: --algo is required (try --list)\n";
@@ -124,6 +257,10 @@ int run(int argc, char** argv) {
   Timer timer;
   const BuildOutput out = build(g, spec);
   const double wall_s = timer.seconds();
+
+  if (query_mode) {
+    return run_query(cli, g, spec, out, family, seed, wall_s);
+  }
 
   std::cout << describe(spec.algorithm).summary << '\n'
             << "graph:  " << family << ", n = " << g.num_vertices()

@@ -21,6 +21,15 @@
 #                              counts exactly, and faulty/async runs with a
 #                              fixed --transport-seed must be identical
 #                              run-to-run.
+#                              Finally the serve smoke: `usne_run query`
+#                              on two workloads must produce seed-stable
+#                              answer checksums run-to-run (multi-threaded
+#                              serving included), and bench_query_throughput
+#                              regenerates BENCH_serve.json — the throughput
+#                              trajectory — whose row *count* must match the
+#                              committed file (wall times move with the
+#                              hardware; the scenario list must not drift
+#                              silently).
 #
 # Optional TSan gate for the parallel engine (not part of the default run):
 #   cmake -B build-tsan -S . -DUSNE_TSAN=ON && cmake --build build-tsan -j
@@ -138,5 +147,50 @@ for algo in emulator_congest spanner_congest; do
     echo "${algo}: --transport ${model} reproducible (seed 7)"
   done
 done
+
+echo "== serve smoke (usne_run query: seed-stable answer checksums) =="
+# Two workload shapes, each served twice multi-threaded with a fixed
+# workload seed: the FNV checksum over all answers must be identical
+# run-to-run (answers are a pure function of H; caching, thread count and
+# scheduling must never change them).
+for workload in zipf grouped; do
+  for run in 1 2; do
+    ./build/usne_run query --algo emulator_fast --family er --n 512 \
+      --kappa 6 --rho 0.3 --seed 2024 --workload "${workload}" \
+      --queries 4000 --workload-seed 42 --qps-threads 4 --cache-mb 8 \
+      --json "${SMOKE_DIR}/serve.${workload}.${run}.json" >/dev/null
+  done
+  # Only answer-derived fields are asserted: sssp_runs may legitimately
+  # vary with thread timing (the symmetric peek changes which endpoint's
+  # SSSP serves a pair) — the answers themselves never do.
+  for key in checksum queries; do
+    a="$(json_field "${SMOKE_DIR}/serve.${workload}.1.json" "${key}")"
+    b="$(json_field "${SMOKE_DIR}/serve.${workload}.2.json" "${key}")"
+    if [ -z "${a}" ] || [ "${a}" != "${b}" ]; then
+      echo "FAIL: serve ${workload} ${key} not seed-stable: '${a}' vs '${b}'" >&2
+      exit 1
+    fi
+  done
+  echo "serve ${workload}: checksum seed-stable across runs ($(json_field "${SMOKE_DIR}/serve.${workload}.1.json" checksum))"
+done
+
+echo "== query throughput trajectory (BENCH_serve.json row-count diff) =="
+# The bench itself hard-fails if cached/uncached/serial/parallel/legacy
+# answers diverge; here we additionally pin the scenario list: the number
+# of recorded rows must match the committed trajectory (wall-clock values
+# are expected to move, the workload set is not).
+old_serve_rows=""
+if [ -f BENCH_serve.json ]; then
+  old_serve_rows="$(grep -c '"workload":' BENCH_serve.json || true)"
+fi
+./build/bench_query_throughput --threads max --json BENCH_serve.json.tmp
+new_serve_rows="$(grep -c '"workload":' BENCH_serve.json.tmp || true)"
+if [ -n "${old_serve_rows}" ] && [ "${old_serve_rows}" != "${new_serve_rows}" ]; then
+  echo "FAIL: BENCH_serve.json row count changed: ${old_serve_rows} -> ${new_serve_rows}" >&2
+  rm -f BENCH_serve.json.tmp
+  exit 1
+fi
+mv BENCH_serve.json.tmp BENCH_serve.json
+echo "BENCH_serve.json: ${new_serve_rows} serving rows recorded"
 
 echo "== done =="

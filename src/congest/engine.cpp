@@ -21,6 +21,18 @@ constexpr std::size_t kMinParallelFanout = 32;
 /// exactly these rounds. Wall-clock only; counts and outputs are identical.
 constexpr std::int64_t kMinParallelMessages = 256;
 
+/// Chunks per pool lane for the on_round fan-out. One chunk per lane (the
+/// old scheme) binds a round's wall-clock to its most loaded chunk — on
+/// skewed inbox distributions (hubs, star centers) one lane drags while the
+/// rest idle. With several chunks per lane the pool's shared task cursor
+/// lets finished lanes steal the remaining chunks, and the boundaries below
+/// additionally weight chunks by delivered-message count rather than by
+/// receiver count. Purely a wall-clock knob: chunks are contiguous
+/// ascending vertex ranges replayed in ascending order, so staging order —
+/// and therefore every count and output — is bit-identical for any chunk
+/// count (enforced by tests/test_congest_parallel.cpp).
+constexpr std::size_t kChunksPerLane = 4;
+
 }  // namespace
 
 ScheduleReport Scheduler::run(NodeProgram& program) {
@@ -28,8 +40,12 @@ ScheduleReport Scheduler::run(NodeProgram& program) {
   const NetworkStats before = net_->stats();
 
   util::ThreadPool* const pool = net_->thread_pool();
+  // Shards = work-stealing chunks, several per lane (see kChunksPerLane),
+  // not one per lane: programs size their Sharded buffers to this count.
   const std::size_t shards =
-      pool != nullptr ? static_cast<std::size_t>(pool->parallelism()) : 1;
+      pool != nullptr
+          ? static_cast<std::size_t>(pool->parallelism()) * kChunksPerLane
+          : 1;
   program.set_shards(shards);
 
   // One staging outbox per shard, persistent across rounds so replay
@@ -41,6 +57,8 @@ ScheduleReport Scheduler::run(NodeProgram& program) {
       stage.emplace_back(net_->graph(), s);
     }
   }
+  // Chunk boundaries of the current round, reused across rounds.
+  std::vector<std::size_t> chunk_begin;
 
   Outbox out(*net_);
   program.init(out);
@@ -53,17 +71,33 @@ ScheduleReport Scheduler::run(NodeProgram& program) {
     if (delivered.empty() && net_->in_flight() == 0) ++report.idle_rounds;
     if (pool != nullptr && delivered.size() >= kMinParallelFanout &&
         net_->delivered_messages() >= kMinParallelMessages) {
-      // Contiguous chunks in ascending vertex order: shard s handles
-      // delivered[m*s/S, m*(s+1)/S). Workers only read the network
-      // (inbox/graph) and stage their sends locally; the replay below
-      // reproduces the serial staging order exactly.
+      // Contiguous chunks in ascending vertex order, with boundaries
+      // weighted by delivered-message count: chunk s ends once the running
+      // message total crosses fraction (s+1)/shards of the round's total,
+      // so a hub's huge inbox fills one chunk instead of unbalancing a
+      // receiver-count split. Workers pull chunks off the pool's shared
+      // cursor (per-chunk work stealing), only read the network
+      // (inbox/graph), and stage their sends locally; the ascending-order
+      // replay below reproduces the serial staging order exactly.
       const std::size_t m = delivered.size();
+      const std::int64_t total = net_->delivered_messages();
+      chunk_begin.assign(shards + 1, m);
+      chunk_begin[0] = 0;
+      std::size_t next_chunk = 1;
+      std::int64_t cumulative = 0;
+      for (std::size_t i = 0; i < m && next_chunk < shards; ++i) {
+        cumulative +=
+            static_cast<std::int64_t>(net_->inbox(delivered[i]).size());
+        while (next_chunk < shards &&
+               cumulative * static_cast<std::int64_t>(shards) >=
+                   static_cast<std::int64_t>(next_chunk) * total) {
+          chunk_begin[next_chunk++] = i + 1;
+        }
+      }
       pool->parallel_for(static_cast<int>(shards), [&](int s) {
         const std::size_t su = static_cast<std::size_t>(s);
-        const std::size_t chunk_begin = m * su / shards;
-        const std::size_t chunk_end = m * (su + 1) / shards;
         Outbox& worker_out = stage[su];
-        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+        for (std::size_t i = chunk_begin[su]; i < chunk_begin[su + 1]; ++i) {
           const Vertex v = delivered[i];
           program.on_round(round, v, net_->inbox(v), worker_out);
         }

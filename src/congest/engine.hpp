@@ -39,13 +39,16 @@
 // Parallel execution. The model is bulk-synchronous: every on_round call
 // within a round is logically concurrent, so when the Network carries an
 // execution policy of T > 1 lanes (Network::set_execution_threads) the
-// Scheduler partitions delivered_to() into T contiguous chunks and fans the
-// on_round calls out across a persistent thread pool. Each worker stages
-// its sends in a thread-local Outbox; the Scheduler then replays the staged
-// sends into the Network in ascending shard order, which reproduces the
-// serial staging order (ascending receiver, per-vertex send order) exactly
-// — round/message/word counts, delivery order, and every algorithm output
-// are bit-for-bit identical to the serial engine.
+// Scheduler partitions delivered_to() into contiguous chunks — several per
+// lane, with boundaries weighted by delivered-message count so skewed inbox
+// sizes (hubs) do not unbalance the round — and fans the on_round calls out
+// across a persistent thread pool, whose shared task cursor lets idle lanes
+// steal remaining chunks. Each chunk stages its sends in its own Outbox;
+// the Scheduler then replays the staged sends into the Network in ascending
+// chunk order, which reproduces the serial staging order (ascending
+// receiver, per-vertex send order) exactly — round/message/word counts,
+// delivery order, and every algorithm output are bit-for-bit identical to
+// the serial engine, for any lane or chunk count.
 //
 // The on_round contract under parallelism: a handler may freely mutate
 // state owned by its vertex v (per-vertex arrays, collected[v], queue

@@ -3,37 +3,37 @@
 #include <cmath>
 
 #include "core/emulator_fast.hpp"
-#include "path/dijkstra.hpp"
 
 namespace usne {
+namespace {
 
-ApproxDistanceOracle::ApproxDistanceOracle(const Graph& g, OracleOptions options) {
+DistributedParams oracle_params(const Graph& g, const OracleOptions& options) {
   const Vertex n = g.num_vertices();
   int kappa = options.kappa;
   if (kappa <= 0) {
     kappa = std::max(
         3, static_cast<int>(std::ceil(2.0 * std::log2(std::max<double>(n, 4)))));
   }
-  params_ = DistributedParams::compute(n, kappa, options.rho, options.eps);
+  return DistributedParams::compute(n, kappa, options.rho, options.eps);
+}
+
+serve::QueryEngine make_engine(const Graph& g, const DistributedParams& params,
+                               const OracleOptions& options) {
   FastOptions fast_options;
   fast_options.keep_audit_data = false;
-  h_ = build_emulator_fast(g, params_, fast_options).h;
+  serve::ServeOptions serve_options;
+  serve_options.cache_mb = options.cache_mb;
+  serve_options.cache_shards = options.cache_shards;
+  return serve::QueryEngine(build_emulator_fast(g, params, fast_options).h,
+                            params.schedule.alpha_bound(),
+                            params.schedule.beta_bound(), serve_options);
 }
 
-const std::vector<Dist>& ApproxDistanceOracle::query_all(Vertex source) const {
-  if (!cached_source_ || *cached_source_ != source) {
-    cached_dist_ = dial_sssp(h_, source);
-    cached_source_ = source;
-  }
-  return cached_dist_;
-}
+}  // namespace
 
-Dist ApproxDistanceOracle::query(Vertex u, Vertex v) const {
-  // Reuse the cache if either endpoint matches it (distances are symmetric).
-  if (cached_source_ && *cached_source_ == v) {
-    return cached_dist_[static_cast<std::size_t>(u)];
-  }
-  return query_all(u)[static_cast<std::size_t>(v)];
-}
+ApproxDistanceOracle::ApproxDistanceOracle(const Graph& g,
+                                           OracleOptions options)
+    : params_(oracle_params(g, options)),
+      engine_(make_engine(g, params_, options)) {}
 
 }  // namespace usne

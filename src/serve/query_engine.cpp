@@ -1,0 +1,350 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "api/build.hpp"
+#include "path/dijkstra.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace usne::serve {
+namespace {
+
+constexpr int kDefaultShards = 16;
+
+/// SplitMix64 mix so consecutive source ids spread across shards.
+std::size_t shard_of(Vertex source, std::size_t shards) noexcept {
+  return static_cast<std::size_t>(
+      SplitMix64(static_cast<std::uint64_t>(source)).next() % shards);
+}
+
+std::int64_t capacity_per_shard(Vertex n, const ServeOptions& options,
+                                std::size_t shards) {
+  if (options.cache_entries_per_shard >= 0) {
+    return options.cache_entries_per_shard;
+  }
+  if (options.cache_mb <= 0) return 0;
+  const double entry_bytes =
+      static_cast<double>(std::max<Vertex>(n, 1)) * sizeof(Dist);
+  const double total =
+      options.cache_mb * 1024.0 * 1024.0 / entry_bytes;
+  // At least one entry per shard once a cache was requested at all:
+  // a budget too small to hold anything would silently degrade to
+  // recompute-always, which is what cache_mb <= 0 is for.
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                       total / static_cast<double>(shards)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sharded LRU cache of per-source SSSP vectors.
+//
+// Each shard is an independent mutex + LRU list + map. A cold source
+// inserts a "computing" slot (result == nullptr) and releases the shard
+// lock while the SSSP runs, so one slow computation never blocks the
+// shard's other sources; concurrent requests for the same source wait on
+// the shard condition variable instead of duplicating the work. Eviction
+// drops ready entries from the LRU tail — never computing slots, and never
+// the vectors already handed out (shared_ptr keeps them alive).
+
+class QueryEngine::Cache {
+ public:
+  Cache(std::size_t shards, std::int64_t per_shard)
+      : shards_(shards), capacity_(per_shard) {
+    slots_ = std::make_unique<Shard[]>(shards_);
+  }
+
+  bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// Returns the cached vector (counting a hit and bumping LRU recency) or
+  /// nullptr without any side effects.
+  SsspResult peek(Vertex source) {
+    if (!enabled()) return nullptr;
+    Shard& sh = slots_[shard_of(source, shards_)];
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    const auto it = sh.map.find(source);
+    if (it == sh.map.end() || !it->second.result) return nullptr;
+    touch(sh, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.result;
+  }
+
+  /// Lookup-or-compute. `compute` runs outside the shard lock.
+  template <typename ComputeFn>
+  SsspResult get(Vertex source, ComputeFn&& compute) {
+    if (!enabled()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::make_shared<const std::vector<Dist>>(compute(source));
+    }
+    Shard& sh = slots_[shard_of(source, shards_)];
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    bool waited = false;
+    for (;;) {
+      const auto it = sh.map.find(source);
+      if (it == sh.map.end()) break;  // cold (or evicted while we waited)
+      if (it->second.result) {
+        touch(sh, it->second);
+        if (waited) {
+          misses_.fetch_add(1, std::memory_order_relaxed);
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return it->second.result;
+      }
+      waited = true;  // another thread is computing this source
+      sh.cv.wait(lock);
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    sh.lru.push_front(source);
+    sh.map.emplace(source, Slot{nullptr, sh.lru.begin()});
+    lock.unlock();
+
+    SsspResult result;
+    try {
+      result = std::make_shared<const std::vector<Dist>>(compute(source));
+    } catch (...) {
+      lock.lock();
+      erase(sh, source);
+      sh.cv.notify_all();
+      throw;
+    }
+
+    lock.lock();
+    const auto it = sh.map.find(source);
+    if (it != sh.map.end() && !it->second.result) it->second.result = result;
+    evict_over_capacity(sh);
+    sh.cv.notify_all();
+    return result;
+  }
+
+  void fill_stats(CacheStats& stats) const {
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.entries = 0;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      Shard& sh = slots_[s];
+      std::lock_guard<std::mutex> lock(sh.mutex);
+      stats.entries += static_cast<std::int64_t>(sh.map.size());
+    }
+  }
+
+ private:
+  struct Slot {
+    SsspResult result;  // nullptr while a thread is computing it
+    std::list<Vertex>::iterator pos;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::list<Vertex> lru;  // front = most recently used
+    std::unordered_map<Vertex, Slot> map;
+  };
+
+  void touch(Shard& sh, Slot& slot) {
+    sh.lru.splice(sh.lru.begin(), sh.lru, slot.pos);
+  }
+
+  void erase(Shard& sh, Vertex source) {
+    const auto it = sh.map.find(source);
+    if (it == sh.map.end()) return;
+    sh.lru.erase(it->second.pos);
+    sh.map.erase(it);
+  }
+
+  void evict_over_capacity(Shard& sh) {
+    // Walk from the LRU tail, skipping computing slots (their owner holds
+    // no lock and expects the slot to still exist). If only computing
+    // slots remain the shard runs transiently over capacity.
+    auto it = sh.lru.end();
+    while (static_cast<std::int64_t>(sh.map.size()) > capacity_ &&
+           it != sh.lru.begin()) {
+      --it;
+      const auto slot = sh.map.find(*it);
+      if (!slot->second.result) continue;
+      it = sh.lru.erase(it);
+      sh.map.erase(slot);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const std::size_t shards_;
+  const std::int64_t capacity_;  // entries per shard; 0 = disabled
+  std::unique_ptr<Shard[]> slots_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> coalesced_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+// ---------------------------------------------------------------------------
+
+QueryEngine::QueryEngine(WeightedGraph h, double alpha, Dist beta,
+                         ServeOptions options)
+    : h_(std::move(h)), alpha_(alpha), beta_(beta) {
+  const std::size_t shards = static_cast<std::size_t>(
+      options.cache_shards > 0 ? options.cache_shards : kDefaultShards);
+  cache_ = std::make_unique<Cache>(
+      shards, capacity_per_shard(h_.num_vertices(), options, shards));
+  // Force the lazy CSR adjacency now: it is a mutable cache inside
+  // WeightedGraph, and the serving threads must only ever read it.
+  if (h_.num_vertices() > 0) h_.adjacency(0);
+}
+
+QueryEngine::QueryEngine(const BuildOutput& built, ServeOptions options)
+    : QueryEngine(built.h(), built.has_guarantee ? built.alpha : 1.0,
+                  built.has_guarantee ? built.beta : 0, options) {}
+
+QueryEngine::~QueryEngine() = default;
+
+std::vector<Dist> QueryEngine::compute_sssp(Vertex source) const {
+  sssp_runs_.fetch_add(1, std::memory_order_relaxed);
+  return dial_sssp(h_, source);
+}
+
+SsspResult QueryEngine::query_all(Vertex source) const {
+  return cache_->get(source, [this](Vertex s) { return compute_sssp(s); });
+}
+
+Dist QueryEngine::query(Vertex u, Vertex v) const {
+  // Serve from whichever endpoint is already cached (distances on the
+  // undirected H are symmetric) before paying for an SSSP from u.
+  if (const SsspResult cached = cache_->peek(u)) {
+    return (*cached)[static_cast<std::size_t>(v)];
+  }
+  if (const SsspResult cached = cache_->peek(v)) {
+    return (*cached)[static_cast<std::size_t>(u)];
+  }
+  return (*query_all(u))[static_cast<std::size_t>(v)];
+}
+
+CacheStats QueryEngine::cache_stats() const {
+  CacheStats stats;
+  cache_->fill_stats(stats);
+  stats.sssp_runs = sssp_runs_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+BatchResult QueryEngine::serve(std::span<const Query> queries,
+                               int threads) const {
+  if (threads == 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = std::max(1, threads);
+
+  BatchResult result;
+  result.answers.assign(queries.size(), 0);
+  const CacheStats before = cache_stats();
+
+  const auto run_one = [&](std::size_t i) {
+    const Query& q = queries[i];
+    if (q.all) {
+      result.answers[i] = checksum_fold(*query_all(q.u));
+    } else {
+      result.answers[i] = query(q.u, q.v);
+    }
+  };
+
+  const bool parallel = threads > 1 && queries.size() > 1;
+  std::unique_lock<std::mutex> pool_lock(pool_mutex_, std::defer_lock);
+  if (parallel) {
+    // The pool persists across batches (spawning OS threads per batch is
+    // not a serving-path cost, and creation stays outside the timed
+    // region); the lock also serializes concurrent multi-threaded batches,
+    // since parallel_for is not reentrant.
+    pool_lock.lock();
+    if (!pool_ || pool_->parallelism() != threads) {
+      pool_ = std::make_unique<util::ThreadPool>(threads);
+    }
+  }
+
+  Timer timer;
+  if (!parallel) {
+    for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);
+  } else {
+    // More chunks than lanes: the pool's shared cursor then load-balances
+    // skew (a chunk of hot cached sources finishes early, its lane moves
+    // on). Answers land positionally, so chunking never affects results.
+    const std::size_t chunks =
+        std::min(queries.size(), static_cast<std::size_t>(threads) * 8);
+    pool_->parallel_for(static_cast<int>(chunks), [&](int c) {
+      const std::size_t begin = queries.size() * static_cast<std::size_t>(c) / chunks;
+      const std::size_t end =
+          queries.size() * (static_cast<std::size_t>(c) + 1) / chunks;
+      for (std::size_t i = begin; i < end; ++i) run_one(i);
+    });
+  }
+  result.wall_s = timer.seconds();
+  result.qps = result.wall_s > 0
+                   ? static_cast<double>(queries.size()) / result.wall_s
+                   : 0;
+
+  for (const Query& q : queries) {
+    if (q.all) {
+      ++result.all_queries;
+    } else {
+      ++result.point_queries;
+    }
+  }
+  const CacheStats after = cache_stats();
+  result.cache.hits = after.hits - before.hits;
+  result.cache.misses = after.misses - before.misses;
+  result.cache.coalesced = after.coalesced - before.coalesced;
+  result.cache.sssp_runs = after.sssp_runs - before.sssp_runs;
+  result.cache.evictions = after.evictions - before.evictions;
+  result.cache.entries = after.entries;
+
+  std::uint64_t hash = kChecksumSeed;
+  for (const Dist d : result.answers) hash = checksum_accumulate(hash, d);
+  result.checksum = hash;
+  return result;
+}
+
+std::string BatchResult::stats_json() const {
+  std::ostringstream out;
+  out << "{\"all_queries\": " << all_queries
+      << ", \"cache_coalesced\": " << cache.coalesced
+      << ", \"cache_entries\": " << cache.entries
+      << ", \"cache_evictions\": " << cache.evictions
+      << ", \"cache_hits\": " << cache.hits
+      << ", \"cache_misses\": " << cache.misses
+      << ", \"checksum\": " << checksum
+      << ", \"point_queries\": " << point_queries
+      << ", \"qps\": " << format_double(qps, 1)
+      << ", \"queries\": " << point_queries + all_queries
+      << ", \"sssp_runs\": " << cache.sssp_runs
+      << ", \"wall_s\": " << format_double(wall_s, 4) << "}";
+  return out.str();
+}
+
+std::uint64_t checksum_accumulate(std::uint64_t hash,
+                                  std::int64_t value) noexcept {
+  const std::uint64_t bits = static_cast<std::uint64_t>(value);
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (bits >> (8 * byte)) & 0xffULL;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+Dist checksum_fold(const std::vector<Dist>& dist) noexcept {
+  std::uint64_t hash = kChecksumSeed;
+  for (const Dist d : dist) hash = checksum_accumulate(hash, d);
+  return static_cast<Dist>(hash & 0x7fffffffffffffffULL);
+}
+
+}  // namespace usne::serve

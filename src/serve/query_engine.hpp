@@ -1,0 +1,187 @@
+#pragma once
+
+// Query-serving subsystem: concurrent batched distance queries on a built
+// emulator or spanner.
+//
+// The paper's stated application is computing almost shortest paths —
+// constructing the ultra-sparse H is preprocessing; this layer is the
+// serving half. A QueryEngine wraps any BuildOutput (usne::build()) and
+// answers point-to-point / single-source / batch distance queries from many
+// threads at once. Every answer d satisfies the construction's guarantee
+//
+//   d_G(u,v) <= d <= alpha * d_G(u,v) + beta.
+//
+// The per-query workhorse is Dial's bucket-queue SSSP on H (path/dijkstra.hpp)
+// — per-query cost depends on |H| ~ n, never on |E(G)|. On top of it sits a
+// sharded LRU cache of per-source SSSP vectors: shards are locked
+// independently, so a query stream with source locality costs one SSSP per
+// hot source regardless of how many threads are serving, and concurrent
+// requests for the same cold source coalesce into a single computation.
+//
+// Answers are a pure function of H, so cached, uncached, serial and
+// multi-threaded serving are bit-identical — tests/test_serve.cpp and
+// bench_query_throughput enforce this, and BatchResult::checksum gives CI a
+// one-number seed-stability probe.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "serve/workload.hpp"
+#include "util/thread_pool.hpp"
+
+namespace usne {
+struct BuildOutput;  // api/build.hpp
+}
+
+namespace usne::serve {
+
+/// One computed single-source result, shared between the cache and any
+/// number of readers. Eviction only drops the cache's reference; vectors
+/// handed out stay valid for as long as the caller holds them.
+using SsspResult = std::shared_ptr<const std::vector<Dist>>;
+
+/// Value-semantics view over an SsspResult with vector-like access. What
+/// ApproxDistanceOracle::query_all now returns: indexing stays source
+/// compatible while ownership is shared, so a concurrent eviction can never
+/// dangle the view.
+class SsspView {
+ public:
+  explicit SsspView(SsspResult result) : result_(std::move(result)) {}
+
+  Dist operator[](std::size_t i) const { return (*result_)[i]; }
+  std::size_t size() const noexcept { return result_->size(); }
+  auto begin() const noexcept { return result_->begin(); }
+  auto end() const noexcept { return result_->end(); }
+  const std::vector<Dist>& vec() const noexcept { return *result_; }
+
+ private:
+  SsspResult result_;
+};
+
+/// Engine tuning. Defaults suit the test/bench scale; cache_mb is the knob
+/// production would size (the README's "Serving queries" section).
+struct ServeOptions {
+  /// Lock shards of the SSSP cache. 0 = default (16). More shards = less
+  /// contention; sources hash uniformly across them.
+  int cache_shards = 0;
+
+  /// Total cache budget in MiB across all shards; one entry costs
+  /// ~8 * n bytes. <= 0 disables caching entirely (every query recomputes —
+  /// the uncached reference the tests compare against).
+  double cache_mb = 64.0;
+
+  /// Exact per-shard entry capacity override for tests (-1 = derive from
+  /// cache_mb). With 0 entries the cache is disabled.
+  std::int64_t cache_entries_per_shard = -1;
+};
+
+/// Cache counter snapshot (cumulative since construction).
+struct CacheStats {
+  std::int64_t hits = 0;        ///< served from a cached vector
+  std::int64_t misses = 0;      ///< triggered (or coalesced into) an SSSP
+  std::int64_t coalesced = 0;   ///< of the misses: waited on another thread
+  std::int64_t sssp_runs = 0;   ///< SSSP computations actually executed
+  std::int64_t evictions = 0;   ///< LRU entries dropped
+  std::int64_t entries = 0;     ///< currently resident entries
+};
+
+/// What one serve() batch did. `answers[i]` is the distance for query i;
+/// for single-source (all) queries it is the FNV-1a checksum of the full
+/// vector folded to int64 (the batch is about throughput accounting — call
+/// query_all for the vector itself).
+struct BatchResult {
+  std::vector<Dist> answers;
+  std::int64_t point_queries = 0;
+  std::int64_t all_queries = 0;
+  /// Counter deltas accrued by this batch — except `entries`, which is the
+  /// absolute resident-entry count after the batch (a delta would go
+  /// negative under eviction and mean nothing).
+  CacheStats cache;
+  double wall_s = 0;
+  double qps = 0;                ///< queries / wall_s
+  std::uint64_t checksum = 0;    ///< FNV-1a over `answers`, order-sensitive
+
+  /// One-line JSON of the batch counters (sorted keys), the record
+  /// usne_run query and bench_query_throughput embed.
+  std::string stats_json() const;
+};
+
+/// Preprocess-once, serve-many distance-query engine. All query methods are
+/// const and safe to call concurrently from any number of threads.
+class QueryEngine {
+ public:
+  /// Wraps an already-built emulator/spanner H with its stretch guarantee.
+  QueryEngine(WeightedGraph h, double alpha, Dist beta,
+              ServeOptions options = {});
+
+  /// Convenience: wraps BuildOutput::h() with its computed guarantee.
+  /// (H is copied out of `built`; the BuildOutput need not outlive the
+  /// engine.) When the build carries no guarantee (has_guarantee == false:
+  /// randomized baselines), alpha()/beta() read (1, 0) — a placeholder,
+  /// not a claim: don't gate such an engine on sample_query_stretch.
+  explicit QueryEngine(const BuildOutput& built, ServeOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+  ~QueryEngine();
+
+  /// Point-to-point approximate distance (kInfDist if disconnected).
+  /// Serves from either endpoint's cached vector when available (distances
+  /// are symmetric), otherwise computes SSSP from u.
+  Dist query(Vertex u, Vertex v) const;
+
+  /// All approximate distances from `source`, cached. Concurrent calls for
+  /// the same cold source coalesce into one SSSP.
+  SsspResult query_all(Vertex source) const;
+
+  /// Runs a query batch over `threads` lanes (0 = hardware concurrency,
+  /// 1 = serial). Answers are positionally aligned with `queries` and
+  /// bit-identical for any thread count. The fan-out runs on a lazily
+  /// created pool owned by the engine (rebuilt only when `threads`
+  /// changes), so steady-state batches spawn no OS threads; concurrent
+  /// multi-threaded serve() calls are safe but serialize on that pool —
+  /// point queries (query / query_all) never do.
+  BatchResult serve(std::span<const Query> queries, int threads = 1) const;
+
+  /// Cumulative cache counters since construction.
+  CacheStats cache_stats() const;
+
+  const WeightedGraph& emulator() const noexcept { return h_; }
+  double alpha() const noexcept { return alpha_; }
+  Dist beta() const noexcept { return beta_; }
+
+ private:
+  class Cache;
+
+  std::vector<Dist> compute_sssp(Vertex source) const;
+
+  WeightedGraph h_;
+  double alpha_ = 1;
+  Dist beta_ = 0;
+  std::unique_ptr<Cache> cache_;
+  mutable std::atomic<std::int64_t> sssp_runs_{0};
+
+  // Lazily created batch fan-out pool (see serve()); pool_mutex_ guards
+  // both creation and use (util::ThreadPool::parallel_for is not
+  // reentrant).
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// Accumulates `value` into an FNV-1a checksum; the batch/oracle answer
+/// probe CI uses for seed stability.
+std::uint64_t checksum_accumulate(std::uint64_t hash, std::int64_t value) noexcept;
+inline constexpr std::uint64_t kChecksumSeed = 14695981039346656037ULL;
+
+/// Folds a full SSSP vector to the int64 recorded in BatchResult::answers
+/// for single-source queries.
+Dist checksum_fold(const std::vector<Dist>& dist) noexcept;
+
+}  // namespace usne::serve

@@ -1,0 +1,61 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "path/bfs.hpp"
+#include "util/table.hpp"
+
+namespace usne::serve {
+
+StretchSample sample_query_stretch(const Graph& g, const QueryEngine& engine,
+                                   std::span<const Query> queries,
+                                   std::int64_t max_pairs) {
+  StretchSample sample;
+  const double alpha = engine.alpha();
+  const Dist beta = engine.beta();
+  // One exact BFS per distinct sampled source, shared across its pairs —
+  // the sample itself exploits source locality the same way serving does.
+  std::unordered_map<Vertex, std::vector<Dist>> exact;
+  for (const Query& q : queries) {
+    if (sample.pairs >= max_pairs) break;
+    if (q.all || q.u == q.v) continue;
+    auto it = exact.find(q.u);
+    if (it == exact.end()) {
+      it = exact.emplace(q.u, bfs_distances(g, q.u)).first;
+    }
+    const Dist dg = it->second[static_cast<std::size_t>(q.v)];
+    const Dist d = engine.query(q.u, q.v);
+    ++sample.pairs;
+    if (dg >= kInfDist) {
+      // Disconnected in G: the emulator/spanner H is a subsampled same-
+      // vertex-set graph, so the pair must be unreachable there too.
+      if (d < kInfDist) ++sample.violations;
+      continue;
+    }
+    if (d < dg) ++sample.underruns;
+    if (static_cast<double>(d) >
+        alpha * static_cast<double>(dg) + static_cast<double>(beta)) {
+      ++sample.violations;
+    }
+    if (dg > 0) {
+      sample.max_mult = std::max(
+          sample.max_mult, static_cast<double>(d) / static_cast<double>(dg));
+    }
+    sample.max_additive = std::max(sample.max_additive, d - dg);
+  }
+  return sample;
+}
+
+std::string StretchSample::stats_json() const {
+  std::ostringstream out;
+  out << "{\"max_additive\": " << max_additive
+      << ", \"max_mult\": " << format_double(max_mult, 3)
+      << ", \"pairs\": " << pairs << ", \"underruns\": " << underruns
+      << ", \"violations\": " << violations << "}";
+  return out.str();
+}
+
+}  // namespace usne::serve

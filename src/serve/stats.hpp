@@ -1,0 +1,45 @@
+#pragma once
+
+// Serving-quality report: per-query stretch sample vs exact BFS on G.
+//
+// Throughput numbers (BatchResult) say how fast the engine answers;
+// this says how good the answers are. A sample of the batch's point
+// queries is re-answered exactly by BFS on the original graph and every
+// engine answer d is checked against the construction's guarantee
+// d_G <= d <= alpha * d_G + beta. Any violation means a broken build (or a
+// broken serving layer), so violations/underruns must always be zero.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/workload.hpp"
+
+namespace usne::serve {
+
+/// Stretch of a sampled subset of a served workload.
+struct StretchSample {
+  std::int64_t pairs = 0;       ///< sampled connected (u != v) point pairs
+  std::int64_t violations = 0;  ///< d > alpha * d_G + beta (must be 0)
+  std::int64_t underruns = 0;   ///< d < d_G (must be 0)
+  double max_mult = 0;          ///< max d / d_G over sampled pairs
+  Dist max_additive = 0;        ///< max d - d_G over sampled pairs
+
+  bool ok() const noexcept { return violations == 0 && underruns == 0; }
+
+  /// One-line JSON (sorted keys) embedded by usne_run query and the bench.
+  std::string stats_json() const;
+};
+
+/// Re-answers up to `max_pairs` of the workload's point queries exactly
+/// (one BFS on G per distinct sampled source, cached across the sample)
+/// and checks every engine answer against (alpha, beta). Queries whose
+/// endpoints are disconnected in G must be kInfDist in the engine too —
+/// counted as a violation otherwise, not skipped.
+StretchSample sample_query_stretch(const Graph& g, const QueryEngine& engine,
+                                   std::span<const Query> queries,
+                                   std::int64_t max_pairs);
+
+}  // namespace usne::serve

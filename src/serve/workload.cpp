@@ -1,0 +1,135 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace usne::serve {
+namespace {
+
+void validate(Vertex n, const WorkloadSpec& spec) {
+  if (n <= 0) throw std::invalid_argument("generate_workload: n must be > 0");
+  if (spec.num_queries < 0) {
+    throw std::invalid_argument("generate_workload: num_queries must be >= 0");
+  }
+  if (spec.kind == WorkloadKind::kZipf && spec.zipf_s <= 0) {
+    throw std::invalid_argument("generate_workload: zipf_s must be > 0");
+  }
+  if (spec.kind == WorkloadKind::kGrouped && spec.group_size <= 0) {
+    throw std::invalid_argument("generate_workload: group_size must be > 0");
+  }
+  if (spec.kind == WorkloadKind::kPointVsAll &&
+      (spec.all_fraction < 0 || spec.all_fraction > 1)) {
+    throw std::invalid_argument(
+        "generate_workload: all_fraction must be in [0, 1]");
+  }
+}
+
+Vertex uniform_vertex(Rng& rng, Vertex n) {
+  return static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+}
+
+/// Zipf sampler over [0, n): rank r has weight 1/(r+1)^s, ranks are mapped
+/// to vertices through a seeded shuffle so the hot head is not simply the
+/// low vertex ids (which are structurally special in several generators).
+class ZipfSources {
+ public:
+  ZipfSources(Vertex n, double s, Rng& rng)
+      : rank_to_vertex_(static_cast<std::size_t>(n)) {
+    std::iota(rank_to_vertex_.begin(), rank_to_vertex_.end(), Vertex{0});
+    std::shuffle(rank_to_vertex_.begin(), rank_to_vertex_.end(), rng);
+    cdf_.resize(static_cast<std::size_t>(n));
+    double cumulative = 0;
+    for (std::size_t r = 0; r < cdf_.size(); ++r) {
+      cumulative += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = cumulative;
+    }
+  }
+
+  Vertex draw(Rng& rng) const {
+    const double x = rng.uniform01() * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    const std::size_t rank = it == cdf_.end()
+                                 ? cdf_.size() - 1
+                                 : static_cast<std::size_t>(it - cdf_.begin());
+    return rank_to_vertex_[rank];
+  }
+
+ private:
+  std::vector<Vertex> rank_to_vertex_;
+  std::vector<double> cdf_;  // unnormalized cumulative weights
+};
+
+}  // namespace
+
+WorkloadKind parse_workload_kind(const std::string& name) {
+  if (name == "uniform") return WorkloadKind::kUniform;
+  if (name == "zipf") return WorkloadKind::kZipf;
+  if (name == "grouped") return WorkloadKind::kGrouped;
+  if (name == "point_vs_all") return WorkloadKind::kPointVsAll;
+  throw std::invalid_argument("unknown workload '" + name +
+                              "' (uniform|zipf|grouped|point_vs_all)");
+}
+
+const char* workload_kind_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kZipf: return "zipf";
+    case WorkloadKind::kGrouped: return "grouped";
+    case WorkloadKind::kPointVsAll: return "point_vs_all";
+  }
+  return "?";
+}
+
+std::vector<Query> generate_workload(Vertex n, const WorkloadSpec& spec) {
+  validate(n, spec);
+  Rng rng(spec.seed);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<std::size_t>(spec.num_queries));
+
+  switch (spec.kind) {
+    case WorkloadKind::kUniform:
+      for (std::int64_t q = 0; q < spec.num_queries; ++q) {
+        queries.push_back({uniform_vertex(rng, n), uniform_vertex(rng, n)});
+      }
+      break;
+    case WorkloadKind::kZipf: {
+      const ZipfSources sources(n, spec.zipf_s, rng);
+      for (std::int64_t q = 0; q < spec.num_queries; ++q) {
+        queries.push_back({sources.draw(rng), uniform_vertex(rng, n)});
+      }
+      break;
+    }
+    case WorkloadKind::kGrouped:
+      while (static_cast<std::int64_t>(queries.size()) < spec.num_queries) {
+        const Vertex source = uniform_vertex(rng, n);
+        const std::int64_t remaining =
+            spec.num_queries - static_cast<std::int64_t>(queries.size());
+        const std::int64_t run = std::min(spec.group_size, remaining);
+        for (std::int64_t i = 0; i < run; ++i) {
+          queries.push_back({source, uniform_vertex(rng, n)});
+        }
+      }
+      break;
+    case WorkloadKind::kPointVsAll:
+      for (std::int64_t q = 0; q < spec.num_queries; ++q) {
+        Query query{uniform_vertex(rng, n), uniform_vertex(rng, n)};
+        // The upgrade decision is drawn after the pair, so the pair
+        // *distribution* is untouched by all_fraction. (The raw RNG stream
+        // still diverges from kUniform's after the first query — the extra
+        // chance() draw shifts every later pair.)
+        if (rng.chance(spec.all_fraction)) {
+          query.v = 0;
+          query.all = true;
+        }
+        queries.push_back(query);
+      }
+      break;
+  }
+  return queries;
+}
+
+}  // namespace usne::serve

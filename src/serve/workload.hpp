@@ -1,0 +1,71 @@
+#pragma once
+
+// Reproducible query workloads for the serving layer.
+//
+// A WorkloadSpec names a query-mix shape (uniform pairs, zipfian-source,
+// grouped-by-source, point-vs-all mixture) plus a seed; generate_workload
+// expands it into a concrete query stream, bit-for-bit reproducible for a
+// fixed (n, spec). Throughput scenarios are therefore comparable across
+// runs, thread counts and PRs — the serving analogue of the seeded graph
+// generators in graph/generators.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace usne::serve {
+
+/// Query-mix shapes. Source locality is the axis that matters for the
+/// sharded SSSP cache: uniform has none, zipf has a hot head, grouped is
+/// maximal (runs of queries sharing one source).
+enum class WorkloadKind {
+  kUniform,     ///< independent uniform (u, v) pairs
+  kZipf,        ///< source drawn zipf(s) over a seeded rank permutation,
+                ///< target uniform
+  kGrouped,     ///< runs of `group_size` queries sharing one uniform source
+  kPointVsAll,  ///< uniform pairs, a fraction upgraded to single-source
+                ///< (full SSSP vector) queries
+};
+
+/// One distance query. `all` asks for the full single-source vector; the
+/// batch answer slot then records the vector's checksum rather than one
+/// distance (see QueryEngine::serve).
+struct Query {
+  Vertex u = 0;
+  Vertex v = 0;      ///< ignored when all is set
+  bool all = false;
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// A reproducible workload: shape + size + seed + shape knobs.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kUniform;
+  std::int64_t num_queries = 1024;
+  std::uint64_t seed = 1;
+
+  /// Zipf exponent over source ranks (kZipf). Rank r is drawn with
+  /// probability proportional to 1/(r+1)^zipf_s; larger = hotter head.
+  double zipf_s = 1.1;
+
+  /// Queries per source run (kGrouped).
+  std::int64_t group_size = 64;
+
+  /// Fraction of queries upgraded to single-source (kPointVsAll).
+  double all_fraction = 0.05;
+};
+
+/// "uniform" | "zipf" | "grouped" | "point_vs_all". Throws
+/// std::invalid_argument listing the names otherwise.
+WorkloadKind parse_workload_kind(const std::string& name);
+const char* workload_kind_name(WorkloadKind kind) noexcept;
+
+/// Expands `spec` into a concrete query stream over vertices [0, n).
+/// Deterministic for a fixed (n, spec). Throws std::invalid_argument when
+/// n <= 0 or the spec is malformed (negative sizes, zipf_s <= 0,
+/// all_fraction outside [0, 1]).
+std::vector<Query> generate_workload(Vertex n, const WorkloadSpec& spec);
+
+}  // namespace usne::serve

@@ -11,7 +11,10 @@
 //   * build_emulator_fast          — fast centralized simulation (§3.3)
 //   * build_emulator_distributed   — CONGEST construction (§3.1)
 //   * build_spanner / build_spanner_congest — near-additive spanners (§4)
-//   * ApproxDistanceOracle         — preprocess/query application
+//   * serve::QueryEngine           — concurrent batched distance queries on
+//     any BuildOutput (sharded SSSP cache, reproducible workloads)
+//   * ApproxDistanceOracle         — preprocess/query application (thin
+//     wrapper over the serve engine)
 //   * evaluate_stretch_exact / audit_all — verification utilities
 //
 // Include this for convenience, or the individual headers for faster
@@ -51,6 +54,9 @@
 #include "path/bfs.hpp"
 #include "path/dijkstra.hpp"
 #include "path/source_detection.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/stats.hpp"
+#include "serve/workload.hpp"
 #include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"

@@ -143,6 +143,33 @@ TEST(ParallelDeterminism, RulingSet) {
   }
 }
 
+// Skewed inbox sizes: a star center (and BA hubs) receives orders of
+// magnitude more messages than leaf vertices, so the message-weighted
+// work-stealing chunks of the fan-out are maximally uneven here. The
+// contract is unchanged — identical counts and outputs at any thread
+// count — this workload just makes an unbalanced split loudest.
+TEST(ParallelDeterminism, SkewedInboxesStarAndHubs) {
+  for (const Graph& g :
+       {gen_star(1500), gen_barabasi_albert(800, 6, 13)}) {
+    std::vector<Dist> expected_dist;
+    NetworkStats expected_stats;
+    for (const int threads : kThreadCounts) {
+      Network net(g);
+      net.set_execution_threads(threads);
+      std::vector<Vertex> sources;
+      for (Vertex v = 1; v < g.num_vertices(); v += 97) sources.push_back(v);
+      const congest::FloodResult r = congest::flood_presence(net, sources, 4);
+      if (threads == 1) {
+        expected_dist = r.dist;
+        expected_stats = net.stats();
+        continue;
+      }
+      EXPECT_EQ(expected_dist, r.dist) << "threads=" << threads;
+      expect_same_stats(expected_stats, net.stats(), threads);
+    }
+  }
+}
+
 // --- full constructions (E4 bench workloads) --------------------------------
 
 TEST(ParallelDeterminism, EmulatorE4Workloads) {

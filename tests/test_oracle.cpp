@@ -1,6 +1,10 @@
-// Tests for the approximate distance oracle (src/oracle/).
+// Tests for the approximate distance oracle (src/oracle/), now a thin
+// wrapper over serve::QueryEngine.
 
 #include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "oracle/distance_oracle.hpp"
@@ -67,6 +71,70 @@ TEST(Oracle, DisconnectedPairsAreInfinite) {
   const ApproxDistanceOracle oracle(b.build());
   EXPECT_EQ(oracle.query(0, 9), kInfDist);
   EXPECT_LT(oracle.query(0, 4), kInfDist);
+}
+
+// Regression for the pre-serve thread-safety bug: query_all mutated a
+// `mutable` single-entry cache without synchronization, so two threads
+// querying different sources raced (and could read a half-written vector).
+// The oracle now delegates to the engine's sharded cache; hammer it.
+TEST(Oracle, ConcurrentMixedQueriesFromEightThreads) {
+  const Graph g = gen_connected_gnm(300, 1200, 9);
+  const ApproxDistanceOracle oracle(g);
+
+  // Serial reference answers, computed before any concurrency.
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 300;
+  std::vector<std::vector<Dist>> expected(kThreads);
+  const auto pair_for = [](int t, int i) {
+    const Vertex u = static_cast<Vertex>((t * 37 + i * 11) % 300);
+    const Vertex v = static_cast<Vertex>((t * 101 + i * 13) % 300);
+    return std::pair<Vertex, Vertex>{u, v};
+  };
+  {
+    const ApproxDistanceOracle serial(g);
+    for (int t = 0; t < kThreads; ++t) {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const auto [u, v] = pair_for(t, i);
+        expected[static_cast<std::size_t>(t)].push_back(serial.query(u, v));
+      }
+    }
+  }
+
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const auto [u, v] = pair_for(t, i);
+        // Mix the two entry points: point queries and full vectors.
+        const Dist got = i % 3 == 0
+                             ? oracle.query_all(u)[static_cast<std::size_t>(v)]
+                             : oracle.query(u, v);
+        if (got != expected[static_cast<std::size_t>(t)]
+                           [static_cast<std::size_t>(i)]) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+// query_all now returns a shared-ownership view: it must outlive cache
+// eviction (the old reference-returning API would have dangled here).
+TEST(Oracle, QueryAllViewSurvivesEviction) {
+  const Graph g = gen_family("er", 200, 8);
+  OracleOptions options;
+  options.cache_mb = 0.002;  // ~1 entry: every new source evicts
+  options.cache_shards = 1;
+  const ApproxDistanceOracle oracle(g, options);
+  const auto all = oracle.query_all(5);
+  for (Vertex s = 6; s < 30; ++s) (void)oracle.query_all(s);
+  EXPECT_GE(oracle.engine().cache_stats().evictions, 1);
+  EXPECT_EQ(all[60], oracle.query(5, 60));
 }
 
 TEST(Oracle, CustomKappaHonoured) {

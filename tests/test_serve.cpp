@@ -1,0 +1,420 @@
+// Tests for the query-serving subsystem (src/serve/): workload generation,
+// the sharded LRU SSSP cache, batch serving determinism, and the stretch
+// guarantee of served answers.
+//
+// Built with -DUSNE_TSAN=ON this binary is part of the ThreadSanitizer gate
+// (ctest label "tsan"): the hammer tests drive the cache from many threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/build.hpp"
+#include "graph/generators.hpp"
+#include "path/dijkstra.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/stats.hpp"
+#include "serve/workload.hpp"
+
+namespace usne {
+namespace {
+
+using serve::BatchResult;
+using serve::Query;
+using serve::QueryEngine;
+using serve::ServeOptions;
+using serve::WorkloadKind;
+using serve::WorkloadSpec;
+
+BuildOutput build_emulator(const Graph& g, int kappa = 6) {
+  BuildSpec spec;
+  spec.algorithm = "emulator_fast";
+  spec.params = {0, kappa, 0.25, 0.3, false};
+  spec.exec.keep_audit_data = false;
+  return build(g, spec);
+}
+
+// --- workload generator -----------------------------------------------------
+
+TEST(Workload, DeterministicForFixedSeed) {
+  WorkloadSpec spec;
+  spec.num_queries = 500;
+  spec.seed = 9;
+  for (const WorkloadKind kind :
+       {WorkloadKind::kUniform, WorkloadKind::kZipf, WorkloadKind::kGrouped,
+        WorkloadKind::kPointVsAll}) {
+    spec.kind = kind;
+    const auto a = serve::generate_workload(300, spec);
+    const auto b = serve::generate_workload(300, spec);
+    EXPECT_EQ(a, b) << serve::workload_kind_name(kind);
+    EXPECT_EQ(a.size(), 500u);
+    for (const Query& q : a) {
+      EXPECT_GE(q.u, 0);
+      EXPECT_LT(q.u, 300);
+      EXPECT_GE(q.v, 0);
+      EXPECT_LT(q.v, 300);
+    }
+    spec.seed = 10;
+    const auto c = serve::generate_workload(300, spec);
+    EXPECT_NE(a, c) << "seed must matter for "
+                    << serve::workload_kind_name(kind);
+    spec.seed = 9;
+  }
+}
+
+TEST(Workload, ZipfConcentratesSources) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kZipf;
+  spec.num_queries = 4000;
+  spec.seed = 3;
+  spec.zipf_s = 1.2;
+  const auto queries = serve::generate_workload(1000, spec);
+  std::unordered_map<Vertex, int> frequency;
+  for (const Query& q : queries) ++frequency[q.u];
+  int hottest = 0;
+  for (const auto& [source, count] : frequency) {
+    hottest = std::max(hottest, count);
+  }
+  // Uniform sources would put ~4 queries on each of 1000 sources; a zipf
+  // head must be far above that.
+  EXPECT_GT(hottest, 100);
+}
+
+TEST(Workload, GroupedEmitsRunsOfOneSource) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGrouped;
+  spec.num_queries = 256;
+  spec.group_size = 32;
+  spec.seed = 5;
+  const auto queries = serve::generate_workload(500, spec);
+  ASSERT_EQ(queries.size(), 256u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].u, queries[i - i % 32].u) << "index " << i;
+  }
+}
+
+TEST(Workload, PointVsAllMixesInFullSsspQueries) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kPointVsAll;
+  spec.num_queries = 2000;
+  spec.all_fraction = 0.1;
+  spec.seed = 7;
+  const auto queries = serve::generate_workload(400, spec);
+  const auto all_count = std::count_if(queries.begin(), queries.end(),
+                                       [](const Query& q) { return q.all; });
+  EXPECT_GT(all_count, 100);
+  EXPECT_LT(all_count, 400);
+}
+
+TEST(Workload, ParseAndNameRoundTrip) {
+  for (const char* name : {"uniform", "zipf", "grouped", "point_vs_all"}) {
+    EXPECT_STREQ(serve::workload_kind_name(serve::parse_workload_kind(name)),
+                 name);
+  }
+  EXPECT_THROW(serve::parse_workload_kind("bogus"), std::invalid_argument);
+}
+
+TEST(Workload, RejectsMalformedSpecs) {
+  WorkloadSpec spec;
+  EXPECT_THROW(serve::generate_workload(0, spec), std::invalid_argument);
+  spec.num_queries = -1;
+  EXPECT_THROW(serve::generate_workload(10, spec), std::invalid_argument);
+  spec.num_queries = 10;
+  spec.kind = WorkloadKind::kZipf;
+  spec.zipf_s = 0;
+  EXPECT_THROW(serve::generate_workload(10, spec), std::invalid_argument);
+  spec.kind = WorkloadKind::kGrouped;
+  spec.group_size = 0;
+  EXPECT_THROW(serve::generate_workload(10, spec), std::invalid_argument);
+  spec.kind = WorkloadKind::kPointVsAll;
+  spec.all_fraction = 1.5;
+  EXPECT_THROW(serve::generate_workload(10, spec), std::invalid_argument);
+}
+
+// --- query engine: answers --------------------------------------------------
+
+TEST(QueryEngine, AnswersMatchDirectSssp) {
+  const Graph g = gen_connected_gnm(300, 1200, 17);
+  const BuildOutput built = build_emulator(g);
+  const QueryEngine engine(built);
+  for (const Vertex s : {0, 5, 123, 299}) {
+    const auto direct = dial_sssp(built.h(), s);
+    const auto cached = engine.query_all(s);
+    EXPECT_EQ(*cached, direct);
+    for (Vertex v = 0; v < 300; v += 37) {
+      EXPECT_EQ(engine.query(s, v), direct[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(QueryEngine, CachedAndUncachedAnswersIdentical) {
+  const Graph g = gen_connected_gnm(400, 1600, 23);
+  const BuildOutput built = build_emulator(g);
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kZipf;
+  spec.num_queries = 3000;
+  spec.seed = 4;
+  const auto queries = serve::generate_workload(400, spec);
+
+  ServeOptions cached_options;
+  ServeOptions uncached_options;
+  uncached_options.cache_mb = 0;
+  const QueryEngine cached(built, cached_options);
+  const QueryEngine uncached(built, uncached_options);
+  const BatchResult a = cached.serve(queries, 2);
+  const BatchResult b = uncached.serve(queries, 2);
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_EQ(a.checksum, b.checksum);
+  // The uncached engine recomputes every query; the cached one pays one
+  // SSSP per distinct source.
+  EXPECT_GT(b.cache.sssp_runs, a.cache.sssp_runs);
+  EXPECT_EQ(a.cache.hits + a.cache.misses,
+            static_cast<std::int64_t>(queries.size()));
+}
+
+TEST(QueryEngine, SymmetricPeekServesFromEitherEndpoint) {
+  const Graph g = gen_family("torus", 144, 3);
+  const BuildOutput built = build_emulator(g);
+  const QueryEngine engine(built);
+  const Dist direct = engine.query(5, 60);   // SSSP from 5
+  const auto before = engine.cache_stats();
+  const Dist via_cache = engine.query(60, 5);  // must reuse 5's vector
+  const auto after = engine.cache_stats();
+  EXPECT_EQ(direct, via_cache);
+  EXPECT_EQ(after.sssp_runs, before.sssp_runs);
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+TEST(QueryEngine, AllQueriesFoldChecksumIntoAnswerSlot) {
+  const Graph g = gen_connected_gnm(200, 800, 31);
+  const BuildOutput built = build_emulator(g);
+  const QueryEngine engine(built);
+  const std::vector<Query> queries = {{7, 0, true}, {7, 11, false}};
+  const BatchResult batch = engine.serve(queries, 1);
+  EXPECT_EQ(batch.all_queries, 1);
+  EXPECT_EQ(batch.point_queries, 1);
+  EXPECT_EQ(batch.answers[0], serve::checksum_fold(*engine.query_all(7)));
+  EXPECT_EQ(batch.answers[1], engine.query(7, 11));
+}
+
+// --- query engine: LRU cache ------------------------------------------------
+
+TEST(QueryEngine, LruEvictsColdestSource) {
+  const Graph g = gen_connected_gnm(200, 800, 11);
+  const BuildOutput built = build_emulator(g);
+  ServeOptions options;
+  options.cache_shards = 1;  // one shard so capacity is exact
+  options.cache_entries_per_shard = 2;
+  const QueryEngine engine(built, options);
+
+  const auto a0 = *engine.query_all(0);  // cache: {0}
+  (void)engine.query_all(1);             // cache: {1, 0}
+  (void)engine.query_all(0);             // touch 0 -> {0, 1}
+  (void)engine.query_all(2);             // evicts 1 -> {2, 0}
+  auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.sssp_runs, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+
+  // 0 survived (it was touched), 1 was evicted and recomputes.
+  (void)engine.query_all(0);
+  EXPECT_EQ(engine.cache_stats().sssp_runs, 3);
+  (void)engine.query_all(1);
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.sssp_runs, 4);
+  EXPECT_EQ(stats.evictions, 2);
+
+  // Evicted-and-recomputed answers are identical to the first computation.
+  EXPECT_EQ(*engine.query_all(0), a0);
+}
+
+TEST(QueryEngine, DisabledCacheRecomputesEveryQuery) {
+  const Graph g = gen_connected_gnm(150, 600, 13);
+  const BuildOutput built = build_emulator(g);
+  ServeOptions options;
+  options.cache_mb = 0;
+  const QueryEngine engine(built, options);
+  (void)engine.query_all(3);
+  (void)engine.query_all(3);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.sssp_runs, 2);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(QueryEngine, EvictedVectorsStayValidForHolders) {
+  const Graph g = gen_connected_gnm(150, 600, 19);
+  const BuildOutput built = build_emulator(g);
+  ServeOptions options;
+  options.cache_shards = 1;
+  options.cache_entries_per_shard = 1;
+  const QueryEngine engine(built, options);
+  const serve::SsspResult held = engine.query_all(4);
+  const std::vector<Dist> copy = *held;
+  (void)engine.query_all(5);  // evicts source 4
+  EXPECT_GE(engine.cache_stats().evictions, 1);
+  EXPECT_EQ(*held, copy);  // shared ownership keeps the vector alive
+}
+
+// --- query engine: determinism & concurrency --------------------------------
+
+TEST(QueryEngine, BatchDeterministicAcrossThreadCounts) {
+  const Graph g = gen_connected_gnm(500, 2000, 29);
+  const BuildOutput built = build_emulator(g);
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kPointVsAll;
+  spec.num_queries = 4000;
+  spec.seed = 12;
+  const auto queries = serve::generate_workload(500, spec);
+
+  BatchResult reference;
+  for (const int threads : {1, 2, 8}) {
+    const QueryEngine engine(built);  // fresh engine per thread count
+    const BatchResult batch = engine.serve(queries, threads);
+    if (threads == 1) {
+      reference = batch;
+      continue;
+    }
+    EXPECT_EQ(batch.answers, reference.answers) << "threads=" << threads;
+    EXPECT_EQ(batch.checksum, reference.checksum) << "threads=" << threads;
+    // (sssp_runs is deliberately not compared here: the symmetric peek
+    // makes the set of computed sources order-dependent for point queries —
+    // the answers are what the determinism contract covers.)
+  }
+}
+
+TEST(QueryEngine, SingleSourceSsspCountInvariantAcrossThreads) {
+  // All-queries go straight through query_all, so with an ample cache the
+  // engine pays exactly one SSSP per distinct source at ANY thread count —
+  // concurrent cold requests coalesce instead of duplicating work.
+  const Graph g = gen_connected_gnm(400, 1600, 53);
+  const BuildOutput built = build_emulator(g);
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kPointVsAll;
+  spec.all_fraction = 1.0;  // every query is single-source
+  spec.num_queries = 2000;
+  spec.seed = 6;
+  const auto queries = serve::generate_workload(400, spec);
+  std::set<Vertex> distinct;
+  for (const Query& q : queries) distinct.insert(q.u);
+
+  for (const int threads : {1, 2, 8}) {
+    const QueryEngine engine(built);
+    const BatchResult batch = engine.serve(queries, threads);
+    EXPECT_EQ(batch.cache.sssp_runs,
+              static_cast<std::int64_t>(distinct.size()))
+        << "threads=" << threads;
+  }
+}
+
+TEST(QueryEngine, ConcurrentSameSourceQueriesCoalesce) {
+  const Graph g = gen_connected_gnm(400, 1600, 37);
+  const BuildOutput built = build_emulator(g);
+  const QueryEngine engine(built);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<std::vector<Dist>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] = *engine.query_all(42);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+  }
+  EXPECT_EQ(engine.cache_stats().sssp_runs, 1);
+}
+
+TEST(QueryEngine, HammerMixedQueriesFromManyThreads) {
+  const Graph g = gen_connected_gnm(300, 1200, 41);
+  const BuildOutput built = build_emulator(g);
+  ServeOptions options;
+  options.cache_shards = 2;
+  options.cache_entries_per_shard = 4;  // tiny: force eviction under load
+  const QueryEngine engine(built, options);
+  ServeOptions uncached_options;
+  uncached_options.cache_mb = 0;
+  const QueryEngine reference(built, uncached_options);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        const Vertex u = static_cast<Vertex>((t * 131 + i * 7) % 300);
+        const Vertex v = static_cast<Vertex>((t * 17 + i * 113) % 300);
+        if (engine.query(u, v) != reference.query(u, v)) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+// --- stretch of served answers ----------------------------------------------
+
+TEST(ServeStats, GeneratedWorkloadsRespectStretchBounds) {
+  const Graph g = gen_connected_gnm(350, 1400, 43);
+  const BuildOutput built = build_emulator(g);
+  const QueryEngine engine(built);
+  ASSERT_TRUE(built.has_guarantee);
+  for (const WorkloadKind kind :
+       {WorkloadKind::kUniform, WorkloadKind::kZipf, WorkloadKind::kGrouped}) {
+    WorkloadSpec spec;
+    spec.kind = kind;
+    spec.num_queries = 600;
+    spec.seed = 21;
+    const auto queries = serve::generate_workload(350, spec);
+    const serve::StretchSample sample =
+        serve::sample_query_stretch(g, engine, queries, 150);
+    EXPECT_GT(sample.pairs, 0) << serve::workload_kind_name(kind);
+    EXPECT_EQ(sample.violations, 0) << serve::workload_kind_name(kind);
+    EXPECT_EQ(sample.underruns, 0) << serve::workload_kind_name(kind);
+    EXPECT_TRUE(sample.ok());
+  }
+}
+
+TEST(ServeStats, DisconnectedPairsStayInfinite) {
+  GraphBuilder b(20);
+  for (Vertex v = 0; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 10; v + 1 < 20; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const BuildOutput built = build_emulator(g, 4);
+  const QueryEngine engine(built);
+  EXPECT_EQ(engine.query(0, 19), kInfDist);
+  EXPECT_LT(engine.query(0, 9), kInfDist);
+  const std::vector<Query> queries = {{0, 19, false}, {0, 9, false}};
+  const serve::StretchSample sample =
+      serve::sample_query_stretch(g, engine, queries, 10);
+  EXPECT_EQ(sample.pairs, 2);
+  EXPECT_TRUE(sample.ok());
+}
+
+// --- batch report -----------------------------------------------------------
+
+TEST(BatchResult, StatsJsonCarriesChecksumAndCounters) {
+  const Graph g = gen_connected_gnm(120, 480, 47);
+  const BuildOutput built = build_emulator(g);
+  const QueryEngine engine(built);
+  WorkloadSpec spec;
+  spec.num_queries = 200;
+  spec.seed = 2;
+  const auto queries = serve::generate_workload(120, spec);
+  const BatchResult batch = engine.serve(queries, 2);
+  const std::string json = batch.stats_json();
+  EXPECT_NE(json.find("\"checksum\": " + std::to_string(batch.checksum)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"queries\": 200"), std::string::npos);
+  EXPECT_NE(json.find("\"sssp_runs\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace usne
