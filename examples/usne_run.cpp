@@ -33,6 +33,7 @@
 #include "serve/stats.hpp"
 #include "serve/workload.hpp"
 #include "util/cli.hpp"
+#include "util/mem.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -74,6 +75,10 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
   serve::ServeOptions options;
   options.cache_mb = cli.get_double("cache-mb", 64.0);
   options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 0));
+  options.kernel = parse_sssp_kernel(cli.get("kernel", "dial"));
+  options.delta = cli.get_int("delta", 0);
+  // --degree-sort reached the engine via ExecOptions -> BuildOutput (the
+  // ServeOptions default, Renumber::kInherit, picks it up from `built`).
   const int qps_threads = static_cast<int>(cli.get_int("qps-threads", 1));
   // The stretch gate only applies where a stretch claim exists: randomized
   // baselines carry no per-instance guarantee (has_guarantee = false), and
@@ -111,6 +116,10 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
             << batch.cache.sssp_runs << " SSSP runs, "
             << batch.cache.hits << " cache hits, " << batch.cache.evictions
             << " evictions)\n"
+            << "kernel: " << engine.kernel_name()
+            << (engine.renumbered() ? " (degree-sorted)" : "")
+            << ", peak rss: " << format_double(util::peak_rss_mb(), 1)
+            << " MiB\n"
             << "checksum: " << batch.checksum << '\n';
   if (stretch_pairs > 0) {
     std::cout << "stretch sample: " << stretch.pairs << " pairs vs BFS on G, "
@@ -137,6 +146,9 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
            << "\", \"workload_seed\": " << workload.seed
            << ", \"qps_threads\": " << qps_threads
            << ", \"cache_mb\": " << format_double(options.cache_mb, 2)
+           << ", \"kernel\": \"" << engine.kernel_name()
+           << "\", \"degree_sort\": " << (engine.renumbered() ? 1 : 0)
+           << ", \"peak_rss_mb\": " << format_double(util::peak_rss_mb(), 1)
            << ", \"edges\": " << built.h().num_edges()
            << ", \"serve\": " << batch.stats_json()
            << ", \"stretch\": " << stretch.stats_json() << "}\n";
@@ -187,9 +199,12 @@ int run(int argc, char** argv) {
            {"qps-threads", "query: serving lanes, 0 = hardware (default 1)"},
            {"cache-mb", "query: SSSP cache budget in MiB, <=0 off (default 64)"},
            {"cache-shards", "query: cache lock shards (default 16)"},
+           {"kernel", "query: SSSP kernel dial|delta (default dial)"},
+           {"delta", "query: delta-stepping bucket width, 0 = auto (default 0)"},
+           {"degree-sort", "serve H degree-renumbered internally (default off)"},
            {"stretch-sample", "query: pairs stretch-checked vs BFS on G (default 100)"}},
           /*allow_positional=*/true,
-          /*switches=*/{"list", "rescale", "audit"});
+          /*switches=*/{"list", "rescale", "audit", "degree-sort"});
   if (cli.help_requested() || !cli.errors().empty()) {
     for (const auto& e : cli.errors()) std::cerr << "error: " << e << '\n';
     std::cout << cli.usage("usne_run");
@@ -244,6 +259,7 @@ int run(int argc, char** argv) {
   spec.params.rescale = cli.get_bool("rescale", false);
   spec.exec.num_threads = static_cast<int>(cli.get_int("threads", 1));
   spec.exec.keep_audit_data = cli.get_bool("audit", false);
+  spec.exec.degree_sort = cli.get_bool("degree-sort", false);
   spec.exec.seed = seed;
   spec.exec.transport.model =
       congest::parse_transport_model(cli.get("transport", "ideal"));

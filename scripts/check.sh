@@ -26,10 +26,16 @@
 #                              answer checksums run-to-run (multi-threaded
 #                              serving included), and bench_query_throughput
 #                              regenerates BENCH_serve.json — the throughput
-#                              trajectory — whose row *count* must match the
-#                              committed file (wall times move with the
-#                              hardware; the scenario list must not drift
-#                              silently).
+#                              trajectory — whose row *count* and per-row
+#                              answer *checksums* must match the committed
+#                              file (wall times move with the hardware; the
+#                              scenario list and the answers must not drift
+#                              silently). Finally the E10 scale smoke:
+#                              bench_scale --smoke hard-gates that the
+#                              dial/delta/degree-sorted kernels agree
+#                              bit-for-bit, and the committed
+#                              BENCH_scale.json row inventory (incl. the
+#                              n = 2^20 rows) is pinned.
 #
 # Optional TSan gate for the parallel engine (not part of the default run):
 #   cmake -B build-tsan -S . -DUSNE_TSAN=ON && cmake --build build-tsan -j
@@ -52,6 +58,12 @@ echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo "== CONGEST perf smoke (serial reference) =="
+# Keep the committed counts aside: after regeneration the model counts
+# (rounds/messages/words) must be unchanged — wall times move with the
+# hardware, the CONGEST cost model must not drift silently.
+if [ -f BENCH_congest.json ]; then
+  cp BENCH_congest.json BENCH_congest_committed.json
+fi
 ./build/bench_congest_rounds --threads 1 --json BENCH_congest_serial.json
 
 echo "== CONGEST perf smoke (parallel, counts must match) =="
@@ -73,6 +85,18 @@ for section in rows transport_rows; do
 done
 rm -f BENCH_congest_serial.json
 echo "model counts identical across engines (ideal + transport rows)"
+
+echo "== committed CONGEST count drift check =="
+count_fields() { grep -o "\"\(rounds\|messages\|words\)\": [0-9]*" "$1" || true; }
+if [ -f BENCH_congest_committed.json ]; then
+  if ! diff <(count_fields BENCH_congest_committed.json) \
+            <(count_fields BENCH_congest.json); then
+    echo "FAIL: committed BENCH_congest.json rounds/messages/words drifted" >&2
+    exit 1
+  fi
+  rm -f BENCH_congest_committed.json
+  echo "rounds/messages/words match the committed BENCH_congest.json"
+fi
 
 echo "== unified-API registry smoke (usne_run over every algorithm) =="
 SMOKE_DIR="$(mktemp -d)"
@@ -190,7 +214,46 @@ if [ -n "${old_serve_rows}" ] && [ "${old_serve_rows}" != "${new_serve_rows}" ];
   rm -f BENCH_serve.json.tmp
   exit 1
 fi
+# Answer checksums are a pure function of (H, workload seed): the committed
+# per-row checksums must be byte-identical after regeneration — a serving
+# optimization that moves one is a wrong answer, not a speedup.
+if [ -f BENCH_serve.json ]; then
+  if ! diff <(grep -o '"checksum": [0-9]*' BENCH_serve.json) \
+            <(grep -o '"checksum": [0-9]*' BENCH_serve.json.tmp); then
+    echo "FAIL: BENCH_serve.json answer checksums drifted" >&2
+    rm -f BENCH_serve.json.tmp
+    exit 1
+  fi
+fi
 mv BENCH_serve.json.tmp BENCH_serve.json
-echo "BENCH_serve.json: ${new_serve_rows} serving rows recorded"
+echo "BENCH_serve.json: ${new_serve_rows} serving rows recorded (checksums stable)"
+
+echo "== scale tier smoke (E10 bench_scale) =="
+# Small-n run of the million-vertex tier: the binary itself hard-gates that
+# dial, delta-stepping and degree-sorted configurations produce identical
+# answers serial and parallel. The committed BENCH_scale.json (full tier,
+# regenerated manually) is pinned by row inventory: the configuration count
+# must not drift, and the n >= 10^6 row must stay present.
+./build/bench_scale --smoke --threads max --json "${SMOKE_DIR}/scale_smoke.json"
+smoke_rows="$(grep -c '"kernel":' "${SMOKE_DIR}/scale_smoke.json" || true)"
+if [ "${smoke_rows}" != "3" ]; then
+  echo "FAIL: bench_scale --smoke recorded ${smoke_rows} rows (expected 3)" >&2
+  exit 1
+fi
+if [ -f BENCH_scale.json ]; then
+  committed_rows="$(grep -c '"kernel":' BENCH_scale.json || true)"
+  if [ "${committed_rows}" != "6" ]; then
+    echo "FAIL: committed BENCH_scale.json has ${committed_rows} rows (expected 6)" >&2
+    exit 1
+  fi
+  if ! grep -q '"n": 1048576' BENCH_scale.json; then
+    echo "FAIL: committed BENCH_scale.json lost its n = 2^20 rows" >&2
+    exit 1
+  fi
+  echo "BENCH_scale.json: ${committed_rows} committed rows incl. n=2^20; smoke gate green"
+else
+  echo "FAIL: BENCH_scale.json missing (run ./build/bench_scale --json BENCH_scale.json)" >&2
+  exit 1
+fi
 
 echo "== done =="

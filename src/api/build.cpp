@@ -331,7 +331,11 @@ BuildOutput build(const Graph& g, const BuildSpec& spec) {
         "' transport does not apply; non-ideal transports are supported by "
         "the algorithms usne::describe() flags with supports_transport");
   }
-  return entry.fn(g, spec, entry.info);
+  BuildOutput out = entry.fn(g, spec, entry.info);
+  // Serving hint only — set here, once, so no adapter can forget it and no
+  // construction ever consumes it (H must not depend on vertex order hints).
+  out.degree_sort = spec.exec.degree_sort;
+  return out;
 }
 
 }  // namespace usne

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "graph/stream_gen.hpp"
 #include "util/rng.hpp"
 
 namespace usne {
@@ -280,6 +281,14 @@ Graph gen_family(const std::string& family, Vertex n, std::uint64_t seed) {
     return gen_dumbbell(k, std::max<Vertex>(1, n - 2 * k));
   }
   if (family == "regular") return gen_random_regular(n, 4, seed);
+  if (family == "rmat") {
+    // Power-of-two vertex count like hypercube; ~8 undirected edges per
+    // vertex (the Graph500 edge factor after dedup).
+    int scale = 0;
+    while ((static_cast<Vertex>(1) << (scale + 1)) <= n) ++scale;
+    return stream_rmat(scale, 8 * (static_cast<std::int64_t>(1) << scale),
+                       seed);
+  }
   if (family == "complete") return gen_complete(std::min<Vertex>(n, 64));
   assert(false && "unknown graph family");
   return Graph();
@@ -288,7 +297,8 @@ Graph gen_family(const std::string& family, Vertex n, std::uint64_t seed) {
 const std::vector<std::string>& all_families() {
   static const std::vector<std::string> families = {
       "er",   "ba",     "grid",    "torus",    "hypercube", "path", "cycle",
-      "star", "tree",   "ws",      "caveman",  "dumbbell",  "regular"};
+      "star", "tree",   "ws",      "caveman",  "dumbbell",  "regular",
+      "rmat"};
   return families;
 }
 

@@ -1,0 +1,74 @@
+#pragma once
+
+// Streamed graph generators for the million-vertex scale tier (E10).
+//
+// The classic generators (graph/generators.hpp) keep an unordered_set of
+// edge keys next to a GraphBuilder edge list and then let build() sort a
+// *copy* — roughly 70 bytes per edge at peak, three materializations of the
+// edge set. At n >= 10^6 that wall, not the algorithms, is what limits
+// experiment size.
+//
+// These generators produce the same kind of graphs with one edge array and
+// one CSR, never materializing adjacency twice:
+//
+//  * candidates are drawn in bounded chunks, appended to the (sorted,
+//    unique) accumulated prefix, sorted, merged in place and deduplicated —
+//    no hash set, no builder copy;
+//  * the loop tops up until *exactly* m unique edges exist (no truncation
+//    bias: a graph never silently ships fewer edges than asked);
+//  * the final Graph is constructed straight from the sorted-unique edge
+//    list, so the CSR is built exactly once.
+//
+// Peak generator-owned memory is ~sizeof(Edge) per edge plus the chunk
+// buffer; StreamGenReport accounts it so the scale bench can assert the
+// bytes-per-edge budget instead of guessing from RSS alone.
+//
+// Determinism: same (n, m, seed) => same graph, independent of chunk size
+// internals. These are distinct families from gen_gnm et al. (the draw
+// order differs), so they do not replace the classic generators where a
+// historical seed matters.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace usne {
+
+/// Memory/work accounting of one streamed generation.
+struct StreamGenReport {
+  std::int64_t edges = 0;       ///< unique edges in the returned graph
+  std::int64_t candidates = 0;  ///< random endpoint pairs drawn (incl. dups)
+  std::int64_t rounds = 0;      ///< top-up sort/merge/unique rounds
+  /// High-water mark of generator-owned buffers (edge array capacity plus
+  /// any scaffolding like the spanning permutation), in bytes. Excludes
+  /// the returned Graph's own CSR.
+  std::int64_t peak_bytes = 0;
+  /// peak_bytes / edges — the number the scale tier budgets against.
+  double bytes_per_edge = 0;
+
+  /// One-line JSON (sorted keys) embedded in BENCH_scale.json rows.
+  std::string stats_json() const;
+};
+
+/// Streamed Erdős–Rényi G(n, m): exactly min(m, n(n-1)/2) distinct uniform
+/// edges.
+Graph stream_gnm(Vertex n, std::int64_t m, std::uint64_t seed,
+                 StreamGenReport* report = nullptr);
+
+/// Streamed connected G(n, m): a uniformly random spanning path first, then
+/// uniform top-up to exactly m edges (m is clamped to [n-1, n(n-1)/2]).
+/// The scale tier's default workload — distances all finite.
+Graph stream_connected_gnm(Vertex n, std::int64_t m, std::uint64_t seed,
+                           StreamGenReport* report = nullptr);
+
+/// Streamed R-MAT (Graph500/GAPBS lineage, quadrant probabilities
+/// a=0.57 b=0.19 c=0.19 d=0.05) on 2^scale vertices with exactly m unique
+/// edges. R-MAT re-draws collide heavily on the hot quadrant, so candidate
+/// draws are capped at 64 * m; in the (pathological) case the cap is hit,
+/// the remainder tops up with uniform edges — still exactly m, still
+/// deterministic.
+Graph stream_rmat(int scale, std::int64_t m, std::uint64_t seed,
+                  StreamGenReport* report = nullptr);
+
+}  // namespace usne

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace usne {
 
 bool WeightedGraph::add_edge(Vertex u, Vertex v, Dist w) {
   if (u < 0 || u >= n_ || v < 0 || v >= n_ || u == v || w <= 0) return false;
   if (u > v) std::swap(u, v);
+  ensure_index();
   const std::uint64_t k = key(u, v);
   const auto [it, inserted] = index_.try_emplace(k, edges_.size());
   if (inserted) {
@@ -20,8 +22,9 @@ bool WeightedGraph::add_edge(Vertex u, Vertex v, Dist w) {
   return true;
 }
 
-Dist WeightedGraph::edge_weight(Vertex u, Vertex v) const noexcept {
+Dist WeightedGraph::edge_weight(Vertex u, Vertex v) const {
   if (u > v) std::swap(u, v);
+  ensure_index();
   const auto it = index_.find(key(u, v));
   return it == index_.end() ? kInfDist : edges_[it->second].w;
 }
@@ -30,6 +33,46 @@ std::span<const WeightedGraph::Arc> WeightedGraph::adjacency(Vertex v) const {
   ensure_adjacency();
   return {arcs_.data() + offsets_[static_cast<std::size_t>(v)],
           arcs_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+}
+
+WeightedGraph::Csr WeightedGraph::csr() const {
+  ensure_adjacency();
+  return {n_, offsets_.data(), arcs_.data()};
+}
+
+WeightedGraph WeightedGraph::from_edges(Vertex n,
+                                        std::vector<WeightedEdge> edges) {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const WeightedEdge& e = edges[i];
+    if (e.u < 0 || e.v >= n || e.u >= e.v || e.w <= 0) {
+      throw std::invalid_argument(
+          "WeightedGraph::from_edges: edge list not normalized");
+    }
+    if (i > 0 && edges[i - 1].u == e.u && edges[i - 1].v == e.v) {
+      throw std::invalid_argument(
+          "WeightedGraph::from_edges: duplicate edge");
+    }
+  }
+  WeightedGraph h(n);
+  h.edges_ = std::move(edges);
+  h.index_valid_ = false;  // built on demand by add_edge / edge_weight
+  return h;
+}
+
+WeightedGraph WeightedGraph::unit_weights(const Graph& g) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) edges.push_back({e.u, e.v, 1});
+  return from_edges(g.num_vertices(), std::move(edges));
+}
+
+void WeightedGraph::ensure_index() const {
+  if (index_valid_) return;
+  index_.reserve(edges_.size() * 2);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    index_.emplace(key(edges_[i].u, edges_[i].v), i);
+  }
+  index_valid_ = true;
 }
 
 void WeightedGraph::ensure_adjacency() const {

@@ -46,8 +46,9 @@ class WeightedGraph {
   /// All edges, normalized u <= v, in insertion order of first occurrence.
   const std::vector<WeightedEdge>& edges() const noexcept { return edges_; }
 
-  /// Weight of edge (u,v) or kInfDist when absent.
-  Dist edge_weight(Vertex u, Vertex v) const noexcept;
+  /// Weight of edge (u,v) or kInfDist when absent. May build the lazy
+  /// per-edge index on first call after from_edges.
+  Dist edge_weight(Vertex u, Vertex v) const;
 
   /// Neighbor list entry for adjacency(): target vertex + weight.
   struct Arc {
@@ -55,9 +56,44 @@ class WeightedGraph {
     Dist w = 0;
   };
 
+  /// Non-owning view over the packed CSR adjacency: one contiguous `arcs`
+  /// array indexed by `offsets` runs. The shortest-path kernels
+  /// (path/sssp_kernel.hpp) iterate this flat layout directly — no
+  /// per-vertex accessor call, no lazy-rebuild branch, and the next run's
+  /// arcs are prefetchable — instead of calling adjacency(v) per vertex.
+  /// Invalidated by add_edge, like adjacency().
+  struct Csr {
+    Vertex n = 0;
+    const std::int64_t* offsets = nullptr;  // n + 1 entries
+    const Arc* arcs = nullptr;              // offsets[n] entries (= 2|E|)
+
+    std::int64_t num_arcs() const noexcept { return n == 0 ? 0 : offsets[n]; }
+    std::span<const Arc> row(Vertex v) const noexcept {
+      return {arcs + offsets[v], arcs + offsets[v + 1]};
+    }
+    std::int64_t degree(Vertex v) const noexcept {
+      return offsets[v + 1] - offsets[v];
+    }
+  };
+
   /// Builds (once, lazily) and returns the adjacency of v. Invalidated by
   /// add_edge; rebuilt on next access.
   std::span<const Arc> adjacency(Vertex v) const;
+
+  /// Builds (once, lazily) the packed CSR and returns a view over it.
+  Csr csr() const;
+
+  /// Bulk construction from an already-normalized edge list: every edge
+  /// u < v, no duplicates, positive weights. Skips the per-edge hash index
+  /// entirely (built lazily only if add_edge / edge_weight is called
+  /// later), so a million-edge graph costs ~sizeof(WeightedEdge) per edge
+  /// plus the CSR — the path the streamed generators and the scale bench
+  /// use. Throws std::invalid_argument on a malformed list.
+  static WeightedGraph from_edges(Vertex n, std::vector<WeightedEdge> edges);
+
+  /// Bulk construction of the unit-weight view of an unweighted graph
+  /// (every edge weight 1) via from_edges — serving G itself at scale.
+  static WeightedGraph unit_weights(const Graph& g);
 
   /// Merges all edges of `other` into this graph (min-weight dedup).
   void merge(const WeightedGraph& other);
@@ -68,10 +104,15 @@ class WeightedGraph {
            static_cast<std::uint32_t>(v);
   }
   void ensure_adjacency() const;
+  void ensure_index() const;
 
   Vertex n_ = 0;
   std::vector<WeightedEdge> edges_;
-  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> edges_ pos
+
+  // key -> edges_ pos. Built eagerly by add_edge, lazily (on first
+  // add_edge/edge_weight) for from_edges graphs.
+  mutable std::unordered_map<std::uint64_t, std::size_t> index_;
+  mutable bool index_valid_ = true;  // empty graph: trivially valid
 
   // Lazy CSR adjacency cache.
   mutable bool adjacency_valid_ = false;

@@ -33,6 +33,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/weighted_graph.hpp"
+#include "path/sssp_kernel.hpp"
 #include "serve/workload.hpp"
 #include "util/thread_pool.hpp"
 
@@ -65,6 +66,19 @@ class SsspView {
   SsspResult result_;
 };
 
+/// Vertex-renumbering policy of the engine's internal CSR (the cache and
+/// every answer stay in original vertex ids — the inverse mapping is
+/// applied inside compute_sssp, so answers, checksums and stretch checks
+/// are bit-identical with or without renumbering).
+enum class Renumber {
+  kInherit,     ///< follow BuildOutput::degree_sort (the BuildSpec flag);
+                ///< kNone when constructed from a bare WeightedGraph
+  kNone,        ///< serve on H's own vertex order
+  kDegreeSort,  ///< degree-descending renumbering: hot hubs cluster at the
+                ///< front of the dist array and CSR (prefetch-friendly on
+                ///< skewed graphs)
+};
+
 /// Engine tuning. Defaults suit the test/bench scale; cache_mb is the knob
 /// production would size (the README's "Serving queries" section).
 struct ServeOptions {
@@ -80,6 +94,25 @@ struct ServeOptions {
   /// Exact per-shard entry capacity override for tests (-1 = derive from
   /// cache_mb). With 0 entries the cache is disabled.
   std::int64_t cache_entries_per_shard = -1;
+
+  /// Per-query SSSP kernel (path/sssp_kernel.hpp). Both are exact on H, so
+  /// answers are bit-identical; kDelta wins at scale on weighted emulators,
+  /// kDial remains the reference.
+  SsspKernel kernel = SsspKernel::kDial;
+
+  /// Delta-stepping bucket width (power of two; 0 = auto from the mean
+  /// edge weight). Ignored by kDial.
+  Dist delta = 0;
+
+  /// Internal CSR vertex order; see Renumber.
+  Renumber renumber = Renumber::kInherit;
+
+  /// Lock-free last-source memo per serving thread: repeated-source runs
+  /// (the grouped workload) hit a thread-local entry instead of paying
+  /// shard lock + LRU bump per query. Only active when the cache is
+  /// enabled (an uncached engine stays a strict recompute-every-query
+  /// reference). Answers are unaffected either way.
+  bool source_memo = true;
 };
 
 /// Cache counter snapshot (cumulative since construction).
@@ -157,6 +190,12 @@ class QueryEngine {
   double alpha() const noexcept { return alpha_; }
   Dist beta() const noexcept { return beta_; }
 
+  /// Kernel the engine dispatches to ("dial" | "delta") and whether its
+  /// internal CSR is degree-sorted — what usne_run surfaces in the query
+  /// JSON record.
+  const char* kernel_name() const noexcept;
+  bool renumbered() const noexcept { return !new_of_old_.empty(); }
+
  private:
   class Cache;
 
@@ -165,6 +204,21 @@ class QueryEngine {
   WeightedGraph h_;
   double alpha_ = 1;
   Dist beta_ = 0;
+  ServeOptions options_;
+  std::uint64_t engine_id_ = 0;  // unique per engine; keys the source memo
+  bool memo_enabled_ = false;
+
+  // Packed CSR the kernels run on. When renumbering is on, perm_offsets_/
+  // perm_arcs_ own a degree-sorted copy and new_of_old_ maps original ->
+  // internal ids (compute_sssp maps the result back); otherwise csr_ views
+  // h_'s own storage and new_of_old_ is empty.
+  WeightedGraph::Csr csr_;
+  std::vector<Vertex> new_of_old_;
+  std::vector<std::int64_t> perm_offsets_;
+  std::vector<WeightedGraph::Arc> perm_arcs_;
+  Dist max_w_ = 0;
+  Dist delta_ = 1;
+
   std::unique_ptr<Cache> cache_;
   mutable std::atomic<std::int64_t> sssp_runs_{0};
 

@@ -1,0 +1,61 @@
+#include "util/mem.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace usne::util {
+namespace {
+
+/// Reads one "Vm...:  <kB> kB" line from /proc/self/status. Returns -1 when
+/// the file or the field is missing (non-Linux), so callers can fall back.
+std::int64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return -1;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, field, field_len) != 0 || line[field_len] != ':') {
+      continue;
+    }
+    long long value = 0;
+    if (std::sscanf(line + field_len + 1, "%lld", &value) == 1) kb = value;
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::int64_t current_rss_bytes() {
+  const std::int64_t kb = proc_status_kb("VmRSS");
+  return kb >= 0 ? kb * 1024 : 0;
+}
+
+std::int64_t peak_rss_bytes() {
+  const std::int64_t kb = proc_status_kb("VmHWM");
+  if (kb >= 0) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+double peak_rss_mb() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+}  // namespace usne::util

@@ -1,0 +1,27 @@
+#pragma once
+
+// Process memory accounting for the scale tier (bench_scale / E10) and
+// `usne_run --json`.
+//
+// Million-vertex workloads are memory-bound long before they are
+// compute-bound, so every scale row records peak RSS and bytes-per-edge
+// next to wall time — a perf trajectory that ignores the working set would
+// reward layouts that simply materialize everything twice.
+
+#include <cstdint>
+
+namespace usne::util {
+
+/// Current resident set size in bytes (Linux: VmRSS from
+/// /proc/self/status). 0 when unavailable.
+std::int64_t current_rss_bytes();
+
+/// Peak (high-water-mark) resident set size in bytes since process start
+/// (Linux: VmHWM from /proc/self/status, falling back to
+/// getrusage(RUSAGE_SELF).ru_maxrss). 0 when unavailable.
+std::int64_t peak_rss_bytes();
+
+/// peak_rss_bytes() in MiB, the unit the bench rows and JSON records use.
+double peak_rss_mb();
+
+}  // namespace usne::util

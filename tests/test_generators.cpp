@@ -5,6 +5,7 @@
 
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "graph/stream_gen.hpp"
 #include "path/bfs.hpp"
 
 namespace usne {
@@ -138,6 +139,57 @@ TEST(Generators, FamilyDeterministic) {
     const Graph b = gen_family(family, 128, 9);
     EXPECT_EQ(a.edges(), b.edges()) << family;
   }
+}
+
+// --- streamed generators (graph/stream_gen.hpp) -----------------------------
+
+TEST(StreamGen, GnmExactEdgeCountAndNoDuplicates) {
+  StreamGenReport report;
+  const Graph g = stream_gnm(300, 900, 3, &report);
+  EXPECT_EQ(g.num_vertices(), 300);
+  EXPECT_EQ(g.num_edges(), 900);  // exact, never truncated
+  for (std::size_t i = 1; i < g.edges().size(); ++i) {
+    EXPECT_LT(g.edges()[i - 1], g.edges()[i]);  // sorted strict => unique
+  }
+  EXPECT_EQ(report.edges, 900);
+  EXPECT_GE(report.candidates, 900);
+  EXPECT_GE(report.rounds, 1);
+  EXPECT_GT(report.peak_bytes, 0);
+  EXPECT_GT(report.bytes_per_edge, 0);
+  // The whole point: peak stays within a small multiple of sizeof(Edge).
+  EXPECT_LT(report.bytes_per_edge, 4.0 * sizeof(Edge));
+}
+
+TEST(StreamGen, GnmCapsAtCompleteGraphAndIsDeterministic) {
+  EXPECT_EQ(stream_gnm(6, 1000, 1).num_edges(), 15);
+  const Graph a = stream_gnm(128, 512, 11);
+  const Graph b = stream_gnm(128, 512, 11);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), stream_gnm(128, 512, 12).edges());
+}
+
+TEST(StreamGen, ConnectedGnmIsConnectedWithExactEdges) {
+  StreamGenReport report;
+  const Graph g = stream_connected_gnm(400, 1200, 5, &report);
+  EXPECT_EQ(g.num_edges(), 1200);
+  EXPECT_EQ(num_components(g), 1);
+  EXPECT_EQ(report.edges, 1200);
+  // Sparse ask below n-1 clamps up to a spanning path, still connected.
+  const Graph tree_ish = stream_connected_gnm(50, 10, 5);
+  EXPECT_EQ(tree_ish.num_edges(), 49);
+  EXPECT_EQ(num_components(tree_ish), 1);
+}
+
+TEST(StreamGen, RmatExactEdgesSkewedDegrees) {
+  StreamGenReport report;
+  const Graph g = stream_rmat(10, 8 * 1024, 7, &report);  // n = 1024
+  EXPECT_EQ(g.num_vertices(), 1024);
+  EXPECT_EQ(g.num_edges(), 8 * 1024);
+  EXPECT_EQ(report.edges, 8 * 1024);
+  // Heavy tail: the hottest vertex sees far more than the mean degree 16.
+  EXPECT_GT(g.max_degree(), 64);
+  // Determinism.
+  EXPECT_EQ(g.edges(), stream_rmat(10, 8 * 1024, 7).edges());
 }
 
 }  // namespace
