@@ -33,6 +33,7 @@
 #include "serve/stats.hpp"
 #include "serve/workload.hpp"
 #include "util/cli.hpp"
+#include "util/invariant.hpp"
 #include "util/mem.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -56,6 +57,14 @@ int main(int argc, char** argv) {
 }
 
 namespace {
+
+/// Extra JSON field carrying the invariant-audit counters — only when
+/// audits are enabled (USNE_AUDIT=1 or a debug build), so default release
+/// records stay byte-identical with the pre-invariant driver.
+std::string invariants_field() {
+  if (!usne::inv::audits_enabled()) return "";
+  return ", \"invariants\": " + usne::inv::counters_json();
+}
 
 /// `usne_run query`: wrap the built H in a QueryEngine, expand the
 /// requested workload, serve it, and report throughput + answer quality.
@@ -151,7 +160,8 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
            << ", \"peak_rss_mb\": " << format_double(util::peak_rss_mb(), 1)
            << ", \"edges\": " << built.h().num_edges()
            << ", \"serve\": " << batch.stats_json()
-           << ", \"stretch\": " << stretch.stats_json() << "}\n";
+           << ", \"stretch\": " << stretch.stats_json()
+           << invariants_field() << "}\n";
     const std::string path = cli.get("json", "-");
     if (path == "-") {
       std::cout << record.str();
@@ -325,7 +335,8 @@ int run(int argc, char** argv) {
            << ", \"drop_p\": " << spec.exec.transport.drop_p
            << ", \"dup_p\": " << spec.exec.transport.dup_p
            << ", \"latency_max\": " << spec.exec.transport.latency_max
-           << ", \"build\": " << out.stats_json() << "}\n";
+           << ", \"build\": " << out.stats_json()
+           << invariants_field() << "}\n";
     const std::string path = cli.get("json", "-");
     if (path == "-") {
       std::cout << record.str();

@@ -37,11 +37,18 @@
 #                              BENCH_scale.json row inventory (incl. the
 #                              n = 2^20 rows) is pinned.
 #
-# Optional TSan gate for the parallel engine (not part of the default run):
-#   cmake -B build-tsan -S . -DUSNE_TSAN=ON && cmake --build build-tsan -j
-#   ctest --test-dir build-tsan -L tsan --output-on-failure
+# Before tier-1 this script runs the static half of the correctness
+# tooling (scripts/analyze.sh --fast: determinism lint + baselined
+# clang-tidy gate) and, after the registry smoke, an invariant-audit
+# counter sanity pass (USNE_AUDIT=1 usne_run build + query must show every
+# exercised category checked > 0 with zero firings, and audits-off records
+# must not carry the field).
 #
-# Exits non-zero on any build, test, or divergence failure.
+# The sanitizer matrix (ASan+UBSan full suite, TSan -L tsan) is the full
+# scripts/analyze.sh run — heavier than tier-1 and kept separate:
+#   scripts/analyze.sh
+#
+# Exits non-zero on any build, test, lint, or divergence failure.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -53,6 +60,12 @@ cmake -B build -S . >/dev/null
 
 echo "== build =="
 cmake --build build -j "${JOBS}"
+
+echo "== static analysis smoke (det-lint + clang-tidy gate) =="
+# The cheap half of scripts/analyze.sh: determinism lint over src/ and the
+# baselined clang-tidy gate (SKIPs when the tool is absent). The sanitizer
+# matrix is analyze.sh's full mode — deliberately not part of tier-1.
+scripts/analyze.sh --fast
 
 echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
@@ -130,6 +143,41 @@ for algo in $(./build/usne_run --list); do
   done
   echo "${algo}: rounds/messages/words match BENCH_congest.json"
 done
+
+echo "== invariant-audit counter sanity (USNE_AUDIT=1 usne_run) =="
+# One audit-enabled build run and one serve run: the JSON record must carry
+# the invariants field, every exercised category must show checked > 0 and
+# fired == 0 (a firing would have thrown inside the run), and a default
+# (audits-off) record must NOT carry the field — the audits-are-free
+# guarantee at the record level.
+USNE_AUDIT=1 ./build/usne_run --algo emulator_fast --family er --n 128 \
+  --kappa 4 --rho 0.49 --eps 0.4 --seed 2024 --threads 1 \
+  --json "${SMOKE_DIR}/audit_build.json" >/dev/null
+USNE_AUDIT=1 ./build/usne_run query --algo emulator_fast --family er \
+  --n 256 --kappa 4 --rho 0.3 --seed 2024 --workload zipf --queries 500 \
+  --workload-seed 42 --qps-threads 2 --cache-mb 8 \
+  --json "${SMOKE_DIR}/audit_query.json" >/dev/null
+for probe in "audit_build.json csr" "audit_query.json csr" \
+             "audit_query.json serve_cache" "audit_query.json sssp"; do
+  file="${probe%% *}"; category="${probe##* }"
+  counts="$(grep -o "\"${category}\": {\"checked\": [0-9]*, \"fired\": [0-9]*}" \
+    "${SMOKE_DIR}/${file}" || true)"
+  checked="$(printf '%s' "${counts}" | grep -o '"checked": [0-9]*' | awk '{print $2}')"
+  fired="$(printf '%s' "${counts}" | grep -o '"fired": [0-9]*' | awk '{print $2}')"
+  if [ -z "${checked}" ] || [ "${checked}" -eq 0 ]; then
+    echo "FAIL: ${file}: invariant category '${category}' never checked" >&2
+    exit 1
+  fi
+  if [ "${fired}" != "0" ]; then
+    echo "FAIL: ${file}: invariant category '${category}' fired ${fired} times" >&2
+    exit 1
+  fi
+done
+if grep -q '"invariants"' "${SMOKE_DIR}/emulator_fast.json"; then
+  echo "FAIL: audits-off usne_run record carries an invariants field" >&2
+  exit 1
+fi
+echo "invariant counters: csr/serve_cache/sssp checked > 0, zero firings"
 
 echo "== transport smoke (ideal parity + seeded reproducibility) =="
 # For the CONGEST constructions: an explicit --transport ideal run must

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""clang-tidy gate with a committed findings baseline.
+
+Runs clang-tidy (config: the checked-in .clang-tidy) over every src/ TU in a
+build directory's compile_commands.json, normalizes the findings into stable
+fingerprints, and compares them against scripts/clang_tidy_baseline.txt:
+
+  * a finding present in the baseline is tolerated (known debt, tracked);
+  * a finding NOT in the baseline fails the gate (exit 1) — new code must
+    not add new findings;
+  * a baseline entry that no longer fires is reported as retired (run with
+    --update-baseline to shrink the file).
+
+Fingerprints are `relative/path.cpp | check-name | message` — deliberately
+no line numbers, so unrelated edits shifting a file do not invalidate the
+baseline. Multiple identical findings collapse to one fingerprint.
+
+When clang-tidy is not installed (this repo's primary container ships GCC
+only), the gate prints a SKIP notice and exits 0: the configuration and
+baseline are still exercised on any host that has the tool.
+
+Usage:
+  scripts/clang_tidy_gate.py [--build-dir build] [--baseline scripts/clang_tidy_baseline.txt]
+                             [--update-baseline] [--jobs N]
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# clang-tidy diagnostic line:  /path/file.cpp:12:34: warning: text [check]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*?) \[(?P<check>[^\]]+)\]$")
+
+
+def find_clang_tidy():
+    candidates = ["clang-tidy"] + [
+        f"clang-tidy-{v}" for v in range(21, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        sys.exit(f"error: {db_path} not found — configure CMake first "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(db_path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def src_files(db):
+    """Library TUs under src/ (tests/bench/examples are gated by -Werror and
+    the test suite; the library is what ships)."""
+    src_prefix = os.path.join(REPO_ROOT, "src") + os.sep
+    files = sorted({entry["file"] for entry in db
+                    if os.path.abspath(entry["file"]).startswith(src_prefix)})
+    return files
+
+
+def run_tidy(tidy, build_dir, files, jobs):
+    findings = set()
+    raw_lines = []
+    # clang-tidy has no built-in parallelism over TUs; chunk manually.
+    procs = []
+
+    def drain(proc):
+        out, _ = proc.communicate()
+        for line in out.splitlines():
+            match = DIAG_RE.match(line.strip())
+            if not match:
+                continue
+            raw_lines.append(line.strip())
+            rel = os.path.relpath(os.path.abspath(match["file"]), REPO_ROOT)
+            if rel.startswith(".."):
+                continue  # system/third-party header
+            findings.add(f"{rel} | {match['check']} | {match['msg']}")
+
+    for path in files:
+        procs.append(subprocess.Popen(
+            [tidy, "-p", build_dir, "--quiet", path],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True))
+        if len(procs) >= jobs:
+            drain(procs.pop(0))
+    for proc in procs:
+        drain(proc)
+    return findings, raw_lines
+
+
+def load_baseline(path):
+    if not os.path.isfile(path):
+        return set()
+    with open(path, encoding="utf-8") as fh:
+        return {line.strip() for line in fh
+                if line.strip() and not line.startswith("#")}
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# clang-tidy findings baseline — known debt tolerated by\n"
+                 "# scripts/clang_tidy_gate.py. One fingerprint per line:\n"
+                 "#   path | check | message\n"
+                 "# Regenerate with: scripts/clang_tidy_gate.py "
+                 "--update-baseline\n")
+        for line in sorted(findings):
+            fh.write(line + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--baseline",
+                        default=os.path.join(REPO_ROOT, "scripts",
+                                             "clang_tidy_baseline.txt"))
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current findings")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 1)))
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("clang-tidy gate: SKIP — no clang-tidy binary on PATH "
+              "(config .clang-tidy and the baseline remain authoritative "
+              "for hosts that have it)")
+        return 0
+
+    db = load_compile_db(args.build_dir)
+    files = src_files(db)
+    if not files:
+        sys.exit("error: no src/ TUs in compile_commands.json")
+
+    print(f"clang-tidy gate: {tidy} over {len(files)} TUs "
+          f"(jobs={args.jobs})")
+    findings, _ = run_tidy(tidy, args.build_dir, files, args.jobs)
+    baseline = load_baseline(args.baseline)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} fingerprints -> "
+              f"{os.path.relpath(args.baseline, REPO_ROOT)}")
+        return 0
+
+    new = sorted(findings - baseline)
+    retired = sorted(baseline - findings)
+    for line in retired:
+        print(f"retired (no longer fires, ok): {line}")
+    if new:
+        print(f"clang-tidy gate: FAIL — {len(new)} finding(s) not in the "
+              "baseline:")
+        for line in new:
+            print(f"  NEW: {line}")
+        print("fix them, or (for accepted debt) rerun with "
+              "--update-baseline and commit the diff")
+        return 1
+    print(f"clang-tidy gate: PASS — {len(findings)} finding(s), "
+          f"all baselined ({len(retired)} retired)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

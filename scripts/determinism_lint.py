@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Determinism lint: flags nondeterminism sources in src/.
+
+Reproducibility is a repository-level guarantee (fixed seeds reproduce the
+same emulator, the same transport faults, the same serve checksums at any
+thread count). This lint catches the constructs that silently break it:
+
+  R1  unseeded / ambient randomness and wall-clock in logic position:
+      rand(), srand(), std::random_device, time(NULL/nullptr),
+      system_clock::now, this_thread::get_id, getpid. Randomness must flow
+      from util/rng.hpp (seeded) or a stateless hash of explicit inputs;
+      wall time may be *measured* (steady_clock in util/timer.hpp) but must
+      not feed outputs.
+  R2  range-for iteration over a std::unordered_map/unordered_set variable:
+      iteration order is implementation-defined, so anything ordered by it
+      (edge insertion, JSON fields, message emission) differs across
+      standard libraries. Iterate a sorted copy, or annotate why order
+      cannot matter.
+  R3  pointer-keyed std::map/std::set: ordering by pointer value is ASLR-
+      dependent.
+
+Escape hatch — same line or the line directly above the construct:
+
+    // det-lint: allow(<why order/randomness cannot affect outputs>)
+
+Exit 0 when clean (suppressions are listed), 1 with findings.
+Run by scripts/check.sh and scripts/analyze.sh.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"//\s*det-lint:\s*allow\(([^)]*)\)")
+
+# R1: each pattern with a short reason shown in the finding.
+BANNED = [
+    (re.compile(r"(?<!\w)rand\s*\("), "rand(): unseeded global RNG"),
+    (re.compile(r"(?<!\w)srand\s*\("), "srand(): global RNG seeding"),
+    (re.compile(r"std::random_device"),
+     "std::random_device: nondeterministic entropy source"),
+    (re.compile(r"(?<!\w)time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time(): wall clock in logic position"),
+    (re.compile(r"system_clock::now"),
+     "system_clock::now: wall clock (use steady_clock for durations)"),
+    (re.compile(r"this_thread::get_id"),
+     "thread id: scheduling-dependent value"),
+    (re.compile(r"(?<!\w)getpid\s*\("), "getpid(): process-dependent value"),
+]
+
+# R2 pass 1: unordered container declarations — members, locals, params.
+#   std::unordered_map<K, V> name;   unordered_set<T> name_;
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{]*?>\s+(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*(\w+)\s*\)")
+
+# R3: std::map/std::set keyed by a pointer type.
+PTR_KEYED_RE = re.compile(r"\bstd::(?:map|set)\s*<\s*[^,<>]*\*")
+
+
+def lint_file(path):
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+
+    findings = []
+    suppressed = []
+
+    def allowed(idx):
+        for probe in (idx, idx - 1):
+            if 0 <= probe < len(lines):
+                match = ALLOW_RE.search(lines[probe])
+                if match:
+                    return match.group(1).strip() or "(no reason given)"
+        return None
+
+    def emit(idx, rule, text):
+        reason = allowed(idx)
+        rel = os.path.relpath(path, REPO_ROOT)
+        if reason is not None:
+            suppressed.append(f"{rel}:{idx + 1}: [{rule}] {text} "
+                              f"-- allowed: {reason}")
+        else:
+            findings.append(f"{rel}:{idx + 1}: [{rule}] {text}")
+
+    # Pass 1: names declared as unordered containers anywhere in this file.
+    unordered_names = set()
+    for line in lines:
+        code = line.split("//", 1)[0]
+        for match in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(match.group(1))
+
+    # Pass 2: per-line rules.
+    for idx, line in enumerate(lines):
+        code = line.split("//", 1)[0]
+        if not code.strip():
+            continue
+        for pattern, why in BANNED:
+            if pattern.search(code):
+                emit(idx, "R1", why)
+        for match in RANGE_FOR_RE.finditer(code):
+            if match.group(1) in unordered_names:
+                emit(idx, "R2",
+                     f"range-for over unordered container '{match.group(1)}' "
+                     "(implementation-defined order)")
+        if PTR_KEYED_RE.search(code):
+            emit(idx, "R3", "pointer-keyed ordered container "
+                 "(ASLR-dependent order)")
+
+    return findings, suppressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        default=[os.path.join(REPO_ROOT, "src")],
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the allowed-sites listing")
+    args = parser.parse_args()
+
+    targets = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                targets.extend(os.path.join(root, n) for n in sorted(names)
+                               if n.endswith((".hpp", ".cpp", ".h", ".cc")))
+        else:
+            targets.append(path)
+
+    all_findings = []
+    all_suppressed = []
+    for path in sorted(targets):
+        findings, suppressed = lint_file(path)
+        all_findings.extend(findings)
+        all_suppressed.extend(suppressed)
+
+    if not args.quiet:
+        for line in all_suppressed:
+            print(f"det-lint: {line}")
+    if all_findings:
+        print(f"det-lint: FAIL — {len(all_findings)} finding(s) in "
+              f"{len(targets)} files:")
+        for line in all_findings:
+            print(f"  {line}")
+        print("fix the construct, or annotate it with "
+              "'// det-lint: allow(reason)' when order/randomness provably "
+              "cannot reach an output")
+        return 1
+    print(f"det-lint: PASS — {len(targets)} files, "
+          f"{len(all_suppressed)} allowed site(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 #include "core/params.hpp"
 #include "core/spanner.hpp"
 #include "core/spanner_distributed.hpp"
+#include "util/invariant.hpp"
 
 namespace usne {
 namespace {
@@ -335,6 +336,14 @@ BuildOutput build(const Graph& g, const BuildSpec& spec) {
   // Serving hint only — set here, once, so no adapter can forget it and no
   // construction ever consumes it (H must not depend on vertex order hints).
   out.degree_sort = spec.exec.degree_sort;
+  // Structural audit of the constructed H: whatever the algorithm did, the
+  // emulator/spanner it hands back must be a well-formed symmetric CSR
+  // before anything downstream (serving, eval, persistence) trusts it.
+  if (inv::audits_enabled()) {
+    std::string error;
+    USNE_CHECK(inv::Category::kCsr, validate_csr(out.h().csr(), &error),
+               error);
+  }
   return out;
 }
 

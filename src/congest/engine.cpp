@@ -3,6 +3,7 @@
 #include <string>
 
 #include "congest/transport.hpp"
+#include "util/invariant.hpp"
 #include "util/thread_pool.hpp"
 
 namespace usne::congest {
@@ -102,7 +103,25 @@ ScheduleReport Scheduler::run(NodeProgram& program) {
           program.on_round(round, v, net_->inbox(v), worker_out);
         }
       });
+      // Staged-send conservation: the ascending-order replay must hand the
+      // network exactly the sends the workers staged — a replay that
+      // drops, double-plays, or leaves a buffer behind would silently
+      // desynchronize the parallel engine from the serial one.
+      std::int64_t expected_pending = -1;
+      if (inv::audits_enabled()) {
+        expected_pending = net_->pending_messages();
+        for (const Outbox& worker_out : stage) {
+          expected_pending +=
+              static_cast<std::int64_t>(worker_out.staged_.size());
+        }
+      }
       for (Outbox& worker_out : stage) worker_out.replay_into(*net_);
+      USNE_AUDIT(inv::Category::kScheduler,
+                 expected_pending < 0 ||
+                     net_->pending_messages() == expected_pending,
+                 "parallel replay staged " + std::to_string(expected_pending) +
+                     " message(s) but the network holds " +
+                     std::to_string(net_->pending_messages()));
     } else {
       for (const Vertex v : delivered) {
         program.on_round(round, v, net_->inbox(v), out);
@@ -136,6 +155,18 @@ ScheduleReport Scheduler::run(NodeProgram& program) {
   report.traffic = {after.rounds - before.rounds,
                     after.messages - before.messages,
                     after.words - before.words};
+  // Idle-round and traffic accounting: idle rounds are a subset of the
+  // rounds this program drove, and a program cannot un-send traffic. Cheap
+  // enough to keep always-on — a miscount here corrupts the CONGEST cost
+  // model every bench row is built on.
+  USNE_CHECK(inv::Category::kScheduler,
+             report.idle_rounds >= 0 && report.idle_rounds <= report.rounds &&
+                 report.traffic.messages >= 0 && report.traffic.words >= 0,
+             "schedule report inconsistent: rounds " +
+                 std::to_string(report.rounds) + ", idle " +
+                 std::to_string(report.idle_rounds) + ", messages " +
+                 std::to_string(report.traffic.messages) + ", words " +
+                 std::to_string(report.traffic.words));
   return report;
 }
 

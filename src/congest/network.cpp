@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "congest/transport.hpp"
+#include "util/invariant.hpp"
 #include "util/thread_pool.hpp"
 
 namespace usne::congest {
@@ -55,12 +56,23 @@ util::ThreadPool* Network::thread_pool() {
 }
 
 void Network::configure_transport(const TransportSpec& spec) {
+  configure_transport(make_delivery_model(spec));
+}
+
+void Network::configure_transport(std::unique_ptr<DeliveryModel> model) {
+  if (model == nullptr) {
+    throw std::invalid_argument("configure_transport: null delivery model");
+  }
   if (pending_messages() + in_flight() != 0) {
     throw std::logic_error(
         "configure_transport requires a quiescent network (messages are "
         "staged or in flight)");
   }
-  model_ = make_delivery_model(spec);
+  // Fold the retiring model's injected-event counters into the network-level
+  // base so the conservation ledger spans model swaps.
+  retired_dropped_ += model_->counters().dropped;
+  retired_duplicated_ += model_->counters().duplicated;
+  model_ = std::move(model);
 }
 
 std::int64_t Network::in_flight() const noexcept {
@@ -135,6 +147,27 @@ void Network::advance_round() {
   model_->collect(stats_.rounds, pending_, deliver_);
   pending_.clear();
   delivered_messages_ = static_cast<std::int64_t>(deliver_.size());
+  delivered_total_ += delivered_messages_;
+
+  // Message conservation across the Network / DeliveryModel handoff: every
+  // send is eventually delivered, dropped, or still riding the transport,
+  // and every extra delivery is an accounted duplicate. A model that loses
+  // or invents messages without counting them breaks this ledger here, in
+  // the round it happens.
+  USNE_AUDIT(inv::Category::kTransport,
+             stats_.messages + retired_duplicated_ +
+                     model_->counters().duplicated ==
+                 delivered_total_ + retired_dropped_ +
+                     model_->counters().dropped + model_->in_flight(),
+             "staged != delivered + dropped + in_flight (sent " +
+                 std::to_string(stats_.messages) + ", delivered " +
+                 std::to_string(delivered_total_) + ", dropped " +
+                 std::to_string(retired_dropped_ +
+                                model_->counters().dropped) +
+                 ", duplicated " +
+                 std::to_string(retired_duplicated_ +
+                                model_->counters().duplicated) +
+                 ", in flight " + std::to_string(model_->in_flight()) + ")");
 
   util::ThreadPool* const pool =
       deliver_.size() >= kMinParallelScatter ? thread_pool() : nullptr;
@@ -143,6 +176,19 @@ void Network::advance_round() {
   } else {
     scatter_serial();
   }
+
+  // Scatter conservation: the arena's per-receiver runs must account for
+  // exactly the batch the transport produced.
+  USNE_AUDIT(inv::Category::kTransport,
+             [&] {
+               std::int64_t in_runs = 0;
+               for (const Vertex v : delivered_) {
+                 in_runs += inbox_count_[static_cast<std::size_t>(v)];
+               }
+               return in_runs == delivered_messages_;
+             }(),
+             "delivery arena runs do not sum to the batch size " +
+                 std::to_string(delivered_messages_));
   ++stats_.rounds;
 }
 

@@ -136,6 +136,11 @@ class Network {
   /// would strand them).
   void configure_transport(const TransportSpec& spec);
 
+  /// Installs a caller-built delivery model (same quiescence rule). The
+  /// extension point for custom transports; the invariant tests use it to
+  /// rig a model that breaks message conservation on purpose.
+  void configure_transport(std::unique_ptr<DeliveryModel> model);
+
   /// The installed delivery model (Ideal unless configure_transport said
   /// otherwise). Exposes kind()/name()/counters().
   const DeliveryModel& transport() const noexcept { return *model_; }
@@ -193,6 +198,12 @@ class Network {
 
   const NetworkStats& stats() const noexcept { return stats_; }
 
+  /// Messages materialized in delivery batches since construction, across
+  /// every installed transport. One side of the conservation ledger the
+  /// kTransport audit balances every round:
+  ///   sent + duplicated == delivered + dropped + in_flight.
+  std::int64_t delivered_total() const noexcept { return delivered_total_; }
+
  private:
   std::int64_t directed_edge_id(Vertex from, Vertex to) const;
 
@@ -217,6 +228,11 @@ class Network {
   std::vector<Vertex> delivered_;             // nodes with non-empty inbox
   std::vector<Vertex> receivers_;             // scratch: batch receivers
   std::int64_t delivered_messages_ = 0;       // size of the current batch
+  std::int64_t delivered_total_ = 0;          // cumulative batch messages
+  // Injected-event counters folded in from transports retired by
+  // configure_transport, so the conservation ledger survives model swaps.
+  std::int64_t retired_dropped_ = 0;
+  std::int64_t retired_duplicated_ = 0;
   // Per-directed-edge round stamp for the one-message-per-edge cap; lazily
   // reset by comparing against the current round number.
   std::vector<std::int64_t> edge_round_stamp_;

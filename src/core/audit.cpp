@@ -83,6 +83,7 @@ AuditReport audit_laminarity(const BuildResult& result) {
         }
         ++seen[it->second];
       }
+      // det-lint: allow(failure path only -- the verdict is order-independent)
       for (const auto& [c, count] : seen) {
         if (count != result.partitions[i][static_cast<std::size_t>(c)].members.size()) {
           report.fail("cluster of P_" + std::to_string(i + 1) +

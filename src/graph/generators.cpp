@@ -179,7 +179,12 @@ Graph gen_barabasi_albert(Vertex n, int attach, std::uint64_t seed) {
       const Vertex t = targets[rng.below(targets.size())];
       if (t != v) chosen.insert(t);
     }
-    for (const Vertex t : chosen) {
+    // Insert in sorted order, not unordered_set iteration order: the order
+    // feeds both the edge list and the `targets` pool future draws index
+    // into, so it must not depend on the standard library's hash layout.
+    std::vector<Vertex> picks(chosen.begin(), chosen.end());
+    std::sort(picks.begin(), picks.end());
+    for (const Vertex t : picks) {
       builder.add_edge(v, t);
       targets.push_back(v);
       targets.push_back(t);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <tuple>
+
+#include "util/invariant.hpp"
 
 namespace usne {
 
@@ -95,6 +98,86 @@ void WeightedGraph::ensure_adjacency() const {
 void WeightedGraph::merge(const WeightedGraph& other) {
   assert(other.n_ <= n_);
   for (const WeightedEdge& e : other.edges_) add_edge(e.u, e.v, e.w);
+}
+
+void WeightedGraph::validate() const {
+  std::string error;
+  const bool ok = validate_csr(csr(), &error);
+  USNE_CHECK(inv::Category::kCsr, ok, error);
+}
+
+bool validate_csr(const WeightedGraph::Csr& g, std::string* error) {
+  const auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  if (g.n < 0) return fail("negative vertex count");
+  if (g.n == 0) return true;  // empty view: trivially valid
+  if (g.offsets == nullptr || (g.arcs == nullptr && g.offsets[g.n] != 0)) {
+    return fail("null CSR storage");
+  }
+  if (g.offsets[0] != 0) {
+    return fail("offsets[0] = " + std::to_string(g.offsets[0]) + ", not 0");
+  }
+  for (Vertex v = 0; v < g.n; ++v) {
+    if (g.offsets[v] > g.offsets[v + 1]) {
+      return fail("offsets decrease at vertex " + std::to_string(v));
+    }
+  }
+  for (Vertex v = 0; v < g.n; ++v) {
+    for (const auto& arc : g.row(v)) {
+      if (arc.to < 0 || arc.to >= g.n) {
+        return fail("arc (" + std::to_string(v) + " -> " +
+                    std::to_string(arc.to) + ") targets out of range");
+      }
+      if (arc.to == v) return fail("self loop at vertex " + std::to_string(v));
+      if (arc.w <= 0) {
+        return fail("non-positive weight " + std::to_string(arc.w) +
+                    " on arc (" + std::to_string(v) + " -> " +
+                    std::to_string(arc.to) + ")");
+      }
+    }
+  }
+  // Symmetry: the multiset of directed arcs must equal its own transpose.
+  // Rows are not target-sorted (they follow edge-list order), so compare
+  // sorted (u, v, w) triples against sorted (v, u, w) triples.
+  struct Triple {
+    Vertex u, v;
+    Dist w;
+  };
+  const auto triple_less = [](const Triple& a, const Triple& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  };
+  const auto triple_eq = [](const Triple& a, const Triple& b) {
+    return a.u == b.u && a.v == b.v && a.w == b.w;
+  };
+  const std::size_t arcs = static_cast<std::size_t>(g.num_arcs());
+  std::vector<Triple> forward, reverse;
+  forward.reserve(arcs);
+  reverse.reserve(arcs);
+  for (Vertex v = 0; v < g.n; ++v) {
+    for (const auto& arc : g.row(v)) {
+      forward.push_back({v, arc.to, arc.w});
+      reverse.push_back({arc.to, v, arc.w});
+    }
+  }
+  std::sort(forward.begin(), forward.end(), triple_less);
+  std::sort(reverse.begin(), reverse.end(), triple_less);
+  for (std::size_t i = 1; i < arcs; ++i) {
+    if (forward[i].u == forward[i - 1].u && forward[i].v == forward[i - 1].v) {
+      return fail("duplicate arc (" + std::to_string(forward[i].u) + " -> " +
+                  std::to_string(forward[i].v) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < arcs; ++i) {
+    if (!triple_eq(forward[i], reverse[i])) {
+      return fail("asymmetric adjacency near arc (" +
+                  std::to_string(forward[i].u) + " -> " +
+                  std::to_string(forward[i].v) + ", w " +
+                  std::to_string(forward[i].w) + ")");
+    }
+  }
+  return true;
 }
 
 }  // namespace usne

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -98,6 +99,11 @@ class WeightedGraph {
   /// Merges all edges of `other` into this graph (min-weight dedup).
   void merge(const WeightedGraph& other);
 
+  /// Builds the CSR (if needed) and checks it with validate_csr through
+  /// the kCsr invariant category: the default fail handler throws
+  /// inv::InvariantViolation on a corrupt structure.
+  void validate() const;
+
  private:
   static std::uint64_t key(Vertex u, Vertex v) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
@@ -119,5 +125,14 @@ class WeightedGraph {
   mutable std::vector<std::int64_t> offsets_;
   mutable std::vector<Arc> arcs_;
 };
+
+/// Structural validator of a Csr view: offsets start at 0 and are
+/// non-decreasing, every arc targets a distinct in-range vertex with a
+/// positive weight, and the adjacency is symmetric — every arc (u, v, w)
+/// has a matching (v, u, w). Returns false and fills `error` (when given)
+/// with the first violation found. O(arcs log arcs) — meant for audits and
+/// tests, not per-query paths. usne::build runs it over every constructed
+/// H when invariant audits are enabled.
+bool validate_csr(const WeightedGraph::Csr& g, std::string* error = nullptr);
 
 }  // namespace usne

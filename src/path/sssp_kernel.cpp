@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+
+#include "util/invariant.hpp"
 
 namespace usne {
 namespace {
@@ -13,6 +16,24 @@ int delta_shift(Dist delta) noexcept {
   int shift = 0;
   while ((Dist{2} << shift) <= delta) ++shift;
   return shift;
+}
+
+/// Audit-only exactness postcondition: a finished SSSP vector is a
+/// relaxation fixpoint (no arc can still improve a distance, and nothing
+/// reachable was missed) with dist[source] == 0. O(arcs) — evaluated only
+/// while inv::audits_enabled().
+bool sssp_fixpoint_ok(const WeightedGraph::Csr& g, Vertex source,
+                      const std::vector<Dist>& dist) noexcept {
+  if (dist[static_cast<std::size_t>(source)] != 0) return false;
+  for (Vertex v = 0; v < g.n; ++v) {
+    const Dist dv = dist[static_cast<std::size_t>(v)];
+    if (dv == kInfDist) continue;
+    if (dv < 0) return false;
+    for (const auto& arc : g.row(v)) {
+      if (dist[static_cast<std::size_t>(arc.to)] > dv + arc.w) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -128,6 +149,19 @@ std::vector<Dist> dial_sssp_csr(const WeightedGraph::Csr& g, Vertex source,
   }
   // Early settled-exit may leave stale entries in the ring; clear them so
   // the next query's reset_ring stays O(slots).
+
+  // Postconditions. Always-on: the ring settles each vertex at most once,
+  // so settling more than n of them means the ring slots collided (the
+  // max_w + 1 sizing bound was violated). Audit: the result is a
+  // relaxation fixpoint — exactness, checked against every arc.
+  USNE_CHECK(inv::Category::kSssp,
+             settled <= n && dist[static_cast<std::size_t>(source)] == 0,
+             "dial ring settled " + std::to_string(settled) + " of " +
+                 std::to_string(n) + " vertices (source dist " +
+                 std::to_string(dist[static_cast<std::size_t>(source)]) + ")");
+  USNE_AUDIT(inv::Category::kSssp, sssp_fixpoint_ok(g, source, dist),
+             "dial result is not a shortest-path fixpoint from source " +
+                 std::to_string(source));
   return dist;
 }
 
@@ -207,6 +241,18 @@ std::vector<Dist> delta_sssp_csr(const WeightedGraph::Csr& g, Vertex source,
       }
     }
   }
+  // Postconditions: the bucket loop only exits once every ring entry is
+  // consumed (pending is the live-entry ledger), and the audit proves the
+  // fused light/heavy drain still reached the exact fixpoint.
+  USNE_CHECK(inv::Category::kSssp,
+             pending == 0 && dist[static_cast<std::size_t>(source)] == 0,
+             "delta-stepping ended with " + std::to_string(pending) +
+                 " ring entries pending (source dist " +
+                 std::to_string(dist[static_cast<std::size_t>(source)]) + ")");
+  USNE_AUDIT(inv::Category::kSssp, sssp_fixpoint_ok(g, source, dist),
+             "delta-stepping result is not a shortest-path fixpoint from "
+             "source " +
+                 std::to_string(source));
   return dist;
 }
 

@@ -10,6 +10,7 @@
 
 #include "api/build.hpp"
 #include "path/sssp_kernel.hpp"
+#include "util/invariant.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -83,6 +84,8 @@ class QueryEngine::Cache {
   }
 
   bool enabled() const noexcept { return capacity_ > 0; }
+  std::size_t shard_count() const noexcept { return shards_; }
+  std::int64_t capacity_per_shard() const noexcept { return capacity_; }
 
   /// Accounts a memo fast-path hit so hit/miss stats stay consistent with
   /// what the queries actually cost (a memo hit is a cache hit that skipped
@@ -251,6 +254,13 @@ QueryEngine::QueryEngine(WeightedGraph h, double alpha, Dist beta,
     new_of_old_ = degree_sorted_order(csr_);
     csr_ = renumber_csr(csr_, new_of_old_, perm_offsets_, perm_arcs_);
   }
+  // Structural audit of the CSR every query will run on — including the
+  // degree-sorted copy, so a renumbering bug is caught here, not as a
+  // wrong answer downstream.
+  if (inv::audits_enabled()) {
+    std::string error;
+    USNE_CHECK(inv::Category::kCsr, validate_csr(csr_, &error), error);
+  }
   max_w_ = max_edge_weight(csr_);
   delta_ = options_.delta > 0 ? options_.delta : auto_delta(csr_);
 }
@@ -407,6 +417,50 @@ BatchResult QueryEngine::serve(std::span<const Query> queries,
   result.cache.sssp_runs = after.sssp_runs - before.sssp_runs;
   result.cache.evictions = after.evictions - before.evictions;
   result.cache.entries = after.entries;
+
+  // Cache ledger conservation (audit: the deltas are only exact when no
+  // queries run outside this batch concurrently — the situation every test
+  // and bench is in). Every query is accounted exactly once as a hit or a
+  // miss — the memo fast path feeds count_hit() precisely so this ledger
+  // balances — and SSSP work never exceeds the misses that requested it.
+  USNE_AUDIT(inv::Category::kServeCache,
+             result.cache.hits + result.cache.misses ==
+                     static_cast<std::int64_t>(queries.size()) &&
+                 result.cache.sssp_runs <= result.cache.misses &&
+                 result.cache.coalesced <= result.cache.misses,
+             "cache ledger off: hits " + std::to_string(result.cache.hits) +
+                 " + misses " + std::to_string(result.cache.misses) +
+                 " != queries " + std::to_string(queries.size()) +
+                 " (sssp_runs " + std::to_string(result.cache.sssp_runs) +
+                 ", coalesced " + std::to_string(result.cache.coalesced) +
+                 ")");
+  // Shard accounting vs the cache_mb budget: at batch quiescence the
+  // resident entries fit the per-shard capacities, and — when capacity was
+  // derived from cache_mb — the resident bytes fit the budget (plus the
+  // documented one-entry-per-shard floor).
+  USNE_AUDIT(
+      inv::Category::kServeCache,
+      [&] {
+        const auto shards =
+            static_cast<std::int64_t>(cache_->shard_count());
+        const std::int64_t cap = cache_->capacity_per_shard();
+        if (result.cache.entries > shards * cap) return false;
+        if (options_.cache_mb <= 0 || options_.cache_entries_per_shard >= 0) {
+          return true;  // disabled or explicitly sized in entries
+        }
+        const double entry_bytes =
+            static_cast<double>(std::max<Vertex>(h_.num_vertices(), 1)) *
+            sizeof(Dist);
+        const double budget = options_.cache_mb * 1024.0 * 1024.0 +
+                              static_cast<double>(shards) * entry_bytes;
+        return static_cast<double>(result.cache.entries) * entry_bytes <=
+               budget;
+      }(),
+      "cache over budget: " + std::to_string(result.cache.entries) +
+          " resident entries, " +
+          std::to_string(cache_->shard_count()) + " shard(s) of " +
+          std::to_string(cache_->capacity_per_shard()) + " entries, " +
+          format_double(options_.cache_mb, 2) + " MiB budget");
 
   std::uint64_t hash = kChecksumSeed;
   for (const Dist d : result.answers) hash = checksum_accumulate(hash, d);

@@ -58,6 +58,7 @@
 #include "serve/stats.hpp"
 #include "serve/workload.hpp"
 #include "util/cli.hpp"
+#include "util/invariant.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

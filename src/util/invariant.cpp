@@ -1,0 +1,128 @@
+#include "util/invariant.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace usne::inv {
+namespace {
+
+struct alignas(64) Slot {
+  std::atomic<std::int64_t> checked{0};
+  std::atomic<std::int64_t> fired{0};
+};
+
+Slot g_slots[kNumCategories];
+
+bool initial_audits_enabled() noexcept {
+#ifndef NDEBUG
+  return true;
+#else
+  const char* env = std::getenv("USNE_AUDIT");
+  return env != nullptr &&
+         (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0);
+#endif
+}
+
+std::atomic<bool> g_audits{initial_audits_enabled()};
+
+void default_fail_handler(Category c, const char* expr,
+                          const std::string& msg) {
+  throw InvariantViolation(std::string("invariant violated [") +
+                           category_name(c) + "] " + expr + ": " + msg);
+}
+
+std::mutex g_handler_mutex;
+FailHandler g_handler;  // empty = default_fail_handler
+
+}  // namespace
+
+const char* category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kTransport: return "transport";
+    case Category::kScheduler: return "scheduler";
+    case Category::kServeCache: return "serve_cache";
+    case Category::kSssp: return "sssp";
+    case Category::kCsr: return "csr";
+  }
+  return "?";
+}
+
+FailHandler set_fail_handler(FailHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  FailHandler prev = std::move(g_handler);
+  g_handler = std::move(handler);
+  return prev;
+}
+
+bool audits_enabled() noexcept {
+  return g_audits.load(std::memory_order_relaxed);
+}
+
+void set_audits_enabled(bool on) noexcept {
+  g_audits.store(on, std::memory_order_relaxed);
+}
+
+std::vector<CategoryCounters> counters() {
+  std::vector<CategoryCounters> out(kNumCategories);
+  for (int c = 0; c < kNumCategories; ++c) {
+    out[static_cast<std::size_t>(c)] = {
+        category_name(static_cast<Category>(c)),
+        g_slots[c].checked.load(std::memory_order_relaxed),
+        g_slots[c].fired.load(std::memory_order_relaxed)};
+  }
+  return out;
+}
+
+void reset_counters() noexcept {
+  for (auto& slot : g_slots) {
+    slot.checked.store(0, std::memory_order_relaxed);
+    slot.fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string counters_json() {
+  // Category names happen to sort the same alphabetically and by enum
+  // order except csr; emit alphabetically for a stable JSON record.
+  std::vector<CategoryCounters> all = counters();
+  std::sort(all.begin(), all.end(),
+            [](const CategoryCounters& a, const CategoryCounters& b) {
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << all[i].name << "\": {\"checked\": " << all[i].checked
+        << ", \"fired\": " << all[i].fired << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+namespace detail {
+
+void note_checked(Category c) noexcept {
+  g_slots[static_cast<int>(c)].checked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void fail(Category c, const char* expr, const std::string& msg) {
+  g_slots[static_cast<int>(c)].fired.fetch_add(1, std::memory_order_relaxed);
+  FailHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
+    handler = g_handler;  // copy: the handler runs outside the lock
+  }
+  if (handler) {
+    handler(c, expr, msg);
+  } else {
+    default_fail_handler(c, expr, msg);
+  }
+}
+
+}  // namespace detail
+}  // namespace usne::inv

@@ -29,6 +29,14 @@ namespace {
 std::atomic<std::int64_t> g_allocations{0};
 }  // namespace
 
+// In sanitizer builds GCC attributes allocations to the sanitizer's
+// interposed allocator and flags these free() calls as mismatched; the
+// pairing is malloc/free by construction (and the sanitizers intercept
+// both), so the diagnostic is noise here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   ++g_allocations;
   if (void* p = std::malloc(size)) return p;
@@ -43,6 +51,9 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace usne::congest {
 namespace {

@@ -433,7 +433,12 @@ class ChecksumProgram final : public NodeProgram {
                 Outbox& out) override {
     auto& acc = acc_[static_cast<std::size_t>(v)];
     for (const Received& r : inbox) {
-      acc = acc * 31 + r.from * 7 + r.msg.words[0];
+      // Mix in unsigned space: the rolling hash overflows by design, and
+      // signed overflow is UB (UBSan flags it) while unsigned wraps.
+      acc = static_cast<congest::Word>(
+          static_cast<std::uint64_t>(acc) * 31 +
+          static_cast<std::uint64_t>(r.from) * 7 +
+          static_cast<std::uint64_t>(r.msg.words[0]));
     }
     if (round + 1 < rounds_) out.broadcast(v, Message::of(acc));
   }

@@ -261,9 +261,13 @@ TEST(Mem, RssHelpersReportPlausibleValues) {
   // "unknown", so this test only asserts when the probe works.)
   const std::int64_t current = util::current_rss_bytes();
   const std::int64_t peak = util::peak_rss_bytes();
-  if (current >= 0) EXPECT_GT(current, 0);
+  if (current >= 0) {
+    EXPECT_GT(current, 0);
+  }
   ASSERT_GT(peak, 0);  // getrusage fallback exists everywhere we build
-  if (current >= 0) EXPECT_GE(peak, current);
+  if (current >= 0) {
+    EXPECT_GE(peak, current);
+  }
   EXPECT_GT(util::peak_rss_mb(), 0.0);
 }
 
