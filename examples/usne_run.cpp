@@ -86,6 +86,9 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
   options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 0));
   options.kernel = parse_sssp_kernel(cli.get("kernel", "dial"));
   options.delta = cli.get_int("delta", 0);
+  // Per-query service-latency percentiles ride along in the query record
+  // (the same serve::LatencyHistogram the daemon's STATS endpoint merges).
+  options.record_latency = true;
   // --degree-sort reached the engine via ExecOptions -> BuildOutput (the
   // ServeOptions default, Renumber::kInherit, picks it up from `built`).
   const int qps_threads = static_cast<int>(cli.get_int("qps-threads", 1));
@@ -128,8 +131,14 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
             << "kernel: " << engine.kernel_name()
             << (engine.renumbered() ? " (degree-sorted)" : "")
             << ", peak rss: " << format_double(util::peak_rss_mb(), 1)
-            << " MiB\n"
-            << "checksum: " << batch.checksum << '\n';
+            << " MiB\n";
+  if (batch.latency) {
+    std::cout << "latency: p50 = " << batch.latency->percentile(0.50)
+              << "us, p99 = " << batch.latency->percentile(0.99)
+              << "us, p999 = " << batch.latency->percentile(0.999)
+              << "us per query\n";
+  }
+  std::cout << "checksum: " << batch.checksum << '\n';
   if (stretch_pairs > 0) {
     std::cout << "stretch sample: " << stretch.pairs << " pairs vs BFS on G, "
               << stretch.violations << " violations, " << stretch.underruns
@@ -160,6 +169,8 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
            << ", \"peak_rss_mb\": " << format_double(util::peak_rss_mb(), 1)
            << ", \"edges\": " << built.h().num_edges()
            << ", \"serve\": " << batch.stats_json()
+           << ", \"latency\": "
+           << (batch.latency ? batch.latency->stats_json() : std::string("{}"))
            << ", \"stretch\": " << stretch.stats_json()
            << invariants_field() << "}\n";
     const std::string path = cli.get("json", "-");

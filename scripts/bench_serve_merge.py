@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Merge usne_loadgen daemon rows into a bench_query_throughput report.
+
+Usage: bench_serve_merge.py BENCH_serve.json.tmp daemon_rows.jsonl
+
+bench_query_throughput writes {"bench": ..., "threads": ..., "rows": [...]}.
+usne_loadgen --json appends one JSON object per line. This script rewrites
+the report in place, adding a "daemon_rows" array holding the loadgen rows
+in file order (the check.sh daemon smoke runs workloads deterministically,
+so the order — and therefore the grep-based row-count and checksum gates
+downstream — is stable).
+
+Row bytes are inserted verbatim, not re-serialized: the gates compare
+`grep -o '"checksum": [0-9]*'` output against the committed file, so the
+formatting the C++ writers emit must survive the merge untouched.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    report_path, rows_path = sys.argv[1], sys.argv[2]
+
+    with open(report_path, "r", encoding="utf-8") as f:
+        report = f.read()
+    with open(rows_path, "r", encoding="utf-8") as f:
+        rows = [line.strip() for line in f if line.strip()]
+
+    if not rows:
+        sys.stderr.write(f"bench_serve_merge: no rows in {rows_path}\n")
+        return 1
+    for row in rows:
+        parsed = json.loads(row)  # refuse to merge malformed loadgen output
+        if "checksum" not in parsed or "workload" not in parsed:
+            sys.stderr.write(f"bench_serve_merge: row missing keys: {row}\n")
+            return 1
+
+    body = report.rstrip()
+    if not body.endswith("}"):
+        sys.stderr.write(f"bench_serve_merge: {report_path} is not a JSON object\n")
+        return 1
+    if '"daemon_rows"' in body:
+        sys.stderr.write(f"bench_serve_merge: {report_path} already has daemon_rows\n")
+        return 1
+    body = body[:-1].rstrip()
+
+    merged = (
+        body
+        + ',\n  "daemon_rows": [\n    '
+        + ",\n    ".join(rows)
+        + "\n  ]\n}\n"
+    )
+    json.loads(merged)  # final sanity: the merged report must still parse
+
+    with open(report_path, "w", encoding="utf-8") as f:
+        f.write(merged)
+    print(f"bench_serve_merge: merged {len(rows)} daemon rows into {report_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,19 @@
 #                              answer *checksums* must match the committed
 #                              file (wall times move with the hardware; the
 #                              scenario list and the answers must not drift
-#                              silently). Finally the E10 scale smoke:
+#                              silently). Between regeneration and those
+#                              gates sits the daemon smoke: usne_served is
+#                              started on a loopback ephemeral port with
+#                              invariant audits on, usne_loadgen drives two
+#                              seeded workloads over TCP with --verify
+#                              (wire answers must be checksum-identical to
+#                              an in-process engine), the daemon must exit
+#                              cleanly on SIGTERM with a conserved request
+#                              ledger, and the loadgen rows are merged into
+#                              the report (scripts/bench_serve_merge.py) so
+#                              the same row-count/checksum gates pin the
+#                              daemon trajectory too. Finally the E10 scale
+#                              smoke:
 #                              bench_scale --smoke hard-gates that the
 #                              dial/delta/degree-sorted kernels agree
 #                              bit-for-bit, and the committed
@@ -256,6 +268,62 @@ if [ -f BENCH_serve.json ]; then
   old_serve_rows="$(grep -c '"workload":' BENCH_serve.json || true)"
 fi
 ./build/bench_query_throughput --threads max --json BENCH_serve.json.tmp
+
+echo "== daemon smoke (usne_served + usne_loadgen over loopback) =="
+# Start the TCP serving daemon on an ephemeral port (invariant audits on),
+# drive two seeded workloads over the wire with --verify (the loadgen
+# builds the same engine in-process and exits 2 if the wire checksum
+# diverges — answers must be transport-independent), then shut down with
+# SIGTERM and require a clean exit plus a zero-firing daemon invariant
+# ledger in the shutdown record. The loadgen rows are merged into the
+# bench tmp file so the row-count and checksum gates below pin the daemon
+# trajectory exactly like the in-process one.
+rm -f "${SMOKE_DIR}/daemon.port" "${SMOKE_DIR}/daemon.stats.json" \
+      "${SMOKE_DIR}/daemon_rows.jsonl"
+USNE_AUDIT=1 ./build/usne_served --algo emulator_fast --family er --n 1024 \
+  --kappa 8 --rho 0.3 --seed 2024 --workers 2 --port 0 \
+  --port-file "${SMOKE_DIR}/daemon.port" \
+  --json "${SMOKE_DIR}/daemon.stats.json" >/dev/null &
+served_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "${SMOKE_DIR}/daemon.port" ] && break
+  sleep 0.1
+done
+if ! [ -s "${SMOKE_DIR}/daemon.port" ]; then
+  echo "FAIL: usne_served did not write its port file" >&2
+  kill "${served_pid}" 2>/dev/null || true
+  exit 1
+fi
+for workload in zipf grouped; do
+  if ! ./build/usne_loadgen --port-file "${SMOKE_DIR}/daemon.port" --n 1024 \
+      --workload "${workload}" --queries 8000 --workload-seed 42 \
+      --connections 4 --batch 16 --verify --algo emulator_fast --family er \
+      --kappa 8 --rho 0.3 --seed 2024 \
+      --json "${SMOKE_DIR}/daemon_rows.jsonl" >/dev/null; then
+    echo "FAIL: usne_loadgen ${workload} (rc 2 = wire checksum mismatch)" >&2
+    kill "${served_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  echo "daemon ${workload}: wire checksum matches the in-process engine"
+done
+kill -TERM "${served_pid}"
+if ! wait "${served_pid}"; then
+  echo "FAIL: usne_served did not shut down cleanly on SIGTERM" >&2
+  exit 1
+fi
+if ! grep -q '"daemon": {"checked": [1-9][0-9]*, "fired": 0}' \
+    "${SMOKE_DIR}/daemon.stats.json"; then
+  echo "FAIL: daemon invariant ledger missing or fired in shutdown record" >&2
+  exit 1
+fi
+if ! grep -q '"in_flight": 0' "${SMOKE_DIR}/daemon.stats.json"; then
+  echo "FAIL: daemon shut down with requests in flight" >&2
+  exit 1
+fi
+echo "usne_served: clean SIGTERM shutdown, request ledger conserved"
+python3 scripts/bench_serve_merge.py BENCH_serve.json.tmp \
+  "${SMOKE_DIR}/daemon_rows.jsonl"
+
 new_serve_rows="$(grep -c '"workload":' BENCH_serve.json.tmp || true)"
 if [ -n "${old_serve_rows}" ] && [ "${old_serve_rows}" != "${new_serve_rows}" ]; then
   echo "FAIL: BENCH_serve.json row count changed: ${old_serve_rows} -> ${new_serve_rows}" >&2

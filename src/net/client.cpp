@@ -1,0 +1,203 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace usne::net {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      inbuf_(std::move(other.inbuf_)),
+      inbuf_off_(other.inbuf_off_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    inbuf_ = std::move(other.inbuf_);
+    inbuf_off_ = other.inbuf_off_;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("Client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("Client: bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("Client: connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + err);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  inbuf_.clear();
+  inbuf_off_ = 0;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_frame(MsgType type, std::uint64_t request_id,
+                        std::span<const std::uint8_t> payload,
+                        std::uint16_t flags) {
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, type, request_id, payload, flags);
+  send_raw(bytes);
+}
+
+void Client::send_raw(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("Client: send failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+bool Client::recv_frame(Frame& out) {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const DecodeStatus st = decode_frame(inbuf_, inbuf_off_, out);
+    if (st == DecodeStatus::kFrame) {
+      // Compact once the buffer's consumed prefix dominates.
+      if (inbuf_off_ > 64 * 1024 && inbuf_off_ * 2 > inbuf_.size()) {
+        inbuf_.erase(inbuf_.begin(),
+                     inbuf_.begin() + static_cast<std::ptrdiff_t>(inbuf_off_));
+        inbuf_off_ = 0;
+      }
+      return true;
+    }
+    if (st != DecodeStatus::kNeedMore) {
+      throw std::runtime_error(std::string("Client: bad response frame: ") +
+                               decode_status_name(st));
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return false;  // orderly EOF
+    throw std::runtime_error(std::string("Client: recv failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+Frame Client::call(MsgType type, std::span<const std::uint8_t> payload,
+                   std::uint16_t flags) {
+  const std::uint64_t id = next_request_id_++;
+  send_frame(type, id, payload, flags);
+  Frame f;
+  for (;;) {
+    if (!recv_frame(f)) {
+      throw std::runtime_error("Client: connection closed mid-call");
+    }
+    // Blocking single-caller clients see responses in request order, but
+    // tolerate interleaving anyway: skip frames for other request ids.
+    if (f.request_id != id) continue;
+    break;
+  }
+  if (f.type == MsgType::kBusy || f.type == MsgType::kError) {
+    ErrorCode code = ErrorCode::kNone;
+    std::string message;
+    if (!parse_error(f.payload, code, message)) {
+      throw std::runtime_error("Client: undecodable error response");
+    }
+    throw RpcError(code, std::string(error_code_name(code)) + ": " + message);
+  }
+  return f;
+}
+
+std::vector<std::uint8_t> Client::ping(std::span<const std::uint8_t> token) {
+  Frame f = call(MsgType::kPing, token);
+  if (f.type != MsgType::kPong) {
+    throw std::runtime_error("Client: unexpected ping response type");
+  }
+  return std::move(f.payload);
+}
+
+Dist Client::query_pair(Vertex u, Vertex v) {
+  const Frame f = call(MsgType::kPair, encode_pair_request(u, v));
+  Dist d = 0;
+  if (f.type != MsgType::kPairReply || !parse_dist_reply(f.payload, d)) {
+    throw std::runtime_error("Client: bad pair reply");
+  }
+  return d;
+}
+
+Dist Client::query_all_folded(Vertex source) {
+  const Frame f =
+      call(MsgType::kSingleSource, encode_single_source_request(source));
+  Dist d = 0;
+  if (f.type != MsgType::kSingleSourceReply ||
+      !parse_dist_reply(f.payload, d)) {
+    throw std::runtime_error("Client: bad single-source reply");
+  }
+  return d;
+}
+
+std::vector<Dist> Client::query_all(Vertex source) {
+  const Frame f = call(MsgType::kSingleSource,
+                       encode_single_source_request(source), kFlagFullVector);
+  std::vector<Dist> dist;
+  if (f.type != MsgType::kSingleSourceReply ||
+      !parse_dist_vector_reply(f.payload, dist)) {
+    throw std::runtime_error("Client: bad single-source vector reply");
+  }
+  return dist;
+}
+
+std::vector<Dist> Client::query_batch(std::span<const serve::Query> queries) {
+  const Frame f = call(MsgType::kBatch, encode_batch_request(queries));
+  std::vector<Dist> answers;
+  if (f.type != MsgType::kBatchReply ||
+      !parse_batch_reply(f.payload, answers) ||
+      answers.size() != queries.size()) {
+    throw std::runtime_error("Client: bad batch reply");
+  }
+  return answers;
+}
+
+std::string Client::stats_json() {
+  const Frame f = call(MsgType::kStats, {});
+  if (f.type != MsgType::kStatsReply) {
+    throw std::runtime_error("Client: bad stats reply");
+  }
+  if (f.payload.empty()) return {};
+  return std::string(reinterpret_cast<const char*>(f.payload.data()),
+                     f.payload.size());
+}
+
+}  // namespace usne::net

@@ -1,0 +1,107 @@
+#pragma once
+
+// usne::net::Client — a minimal blocking client for the usne wire protocol.
+//
+// One TCP connection, synchronous request/response RPCs. This is the
+// reference implementation of the client side of net/protocol.hpp: the
+// integration tests (tests/test_net.cpp) and usne_loadgen both drive the
+// daemon through it, and its raw send_frame/recv_frame layer doubles as the
+// fault injector (send_raw writes arbitrary bytes, so malformed-frame
+// handling is testable over a real socket).
+//
+// Thread model: a Client is NOT thread-safe — one connection, one caller.
+// Concurrency is achieved by opening more Clients (the daemon multiplexes
+// them), which is also how the load generator models independent clients.
+//
+// kBusy responses surface as RpcError with code() == ErrorCode::kBusy so
+// callers can implement retry; any transport or protocol failure throws
+// std::runtime_error.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/protocol.hpp"
+#include "serve/workload.hpp"
+
+namespace usne::net {
+
+/// A kBusy or kError response, decoded. code() distinguishes admission
+/// rejection (retryable) from protocol/payload errors (caller bug).
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects (blocking) to host:port. Throws std::runtime_error on
+  /// failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  // --- RPCs (each sends one request and blocks for its response) ----------
+
+  /// Round-trips a kPing carrying `token`; returns the echoed payload.
+  std::vector<std::uint8_t> ping(std::span<const std::uint8_t> token = {});
+
+  /// Point-to-point approximate distance.
+  Dist query_pair(Vertex u, Vertex v);
+
+  /// Single-source answer folded to the engine's checksum_fold value.
+  Dist query_all_folded(Vertex source);
+
+  /// Full single-source distance vector (kFlagFullVector).
+  std::vector<Dist> query_all(Vertex source);
+
+  /// Batch of queries; answers positionally aligned with `queries`,
+  /// bit-identical to serve::QueryEngine::serve on the same batch.
+  std::vector<Dist> query_batch(std::span<const serve::Query> queries);
+
+  /// The daemon's STATS JSON.
+  std::string stats_json();
+
+  // --- raw frame layer (tests, fault injection) ----------------------------
+
+  /// Sends one well-formed frame.
+  void send_frame(MsgType type, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload,
+                  std::uint16_t flags = 0);
+
+  /// Writes arbitrary bytes to the socket — the malformed-frame hook.
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Blocks for one frame. Returns false on orderly EOF (daemon closed the
+  /// connection); throws on a malformed response.
+  bool recv_frame(Frame& out);
+
+ private:
+  /// Sends `frame_payload` as `type` and waits for the response to this
+  /// request_id, translating kBusy/kError into RpcError.
+  Frame call(MsgType type, std::span<const std::uint8_t> payload,
+             std::uint16_t flags = 0);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> inbuf_;
+  std::size_t inbuf_off_ = 0;
+};
+
+}  // namespace usne::net

@@ -1,0 +1,145 @@
+#pragma once
+
+// usne::net::Server — the network serving daemon behind `usne_served`.
+//
+// A long-running TCP front-end for serve::QueryEngine: one I/O thread runs
+// an epoll (Linux) or poll (portable fallback) event loop over all client
+// sockets, decoding frames (net/protocol.hpp) and admitting engine-bound
+// requests into a bounded batching queue; N worker threads pop requests in
+// coalesced groups (flush when the queue reaches batch_max or the oldest
+// entry has waited flush_us) and answer them against an atomically
+// swappable engine snapshot. Responses flow back to the I/O thread through
+// a response queue plus a wake pipe, so workers never touch a socket.
+//
+// Admission control / backpressure: a request that would overflow the
+// queue (max_queue) or its connection's in-flight cap
+// (max_inflight_per_conn) is answered immediately with kBusy — bounded
+// memory, explicit signal, client retries. PING and STATS bypass admission
+// (they never touch the engine), so health and observability stay
+// responsive exactly when the daemon is saturated.
+//
+// Graceful reload: reload(new_engine) flips a shared_ptr behind a mutex.
+// Workers snapshot the pointer per batch, so requests in flight finish on
+// the engine they were admitted under and later batches pick up the new
+// one — zero dropped requests, no socket churn. Engines with a different
+// vertex count are rejected (queued queries must stay answerable).
+//
+// Observability: per-worker lock-free serve::LatencyHistograms (merged on
+// demand), cumulative counters, and QueryEngine::cache_stats_delta for
+// per-interval cache rates — all surfaced by the STATS request and
+// stats_json().
+//
+// Request conservation (inv::Category::kDaemon): every well-framed request
+// is eventually answered, rejected, or in flight —
+//
+//   accepted == answered + rejected_busy + rejected_error + in_flight
+//
+// holds at every counter snapshot, and in_flight == 0 once stop() has
+// drained. Header-level garbage (bad magic/version/checksum/oversized)
+// never enters the ledger: it is counted in protocol_errors and the
+// connection is closed without engine involvement.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/query_engine.hpp"
+
+namespace usne::net {
+
+struct ServerOptions {
+  /// Listen address. Tests and check.sh bind loopback.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+
+  /// Worker threads answering requests (>= 1).
+  int workers = 2;
+
+  /// Admission bound: engine-bound requests queued but not yet being
+  /// processed. At the bound, new requests get kBusy.
+  int max_queue = 1024;
+
+  /// Per-connection cap on admitted-but-unanswered requests; the second
+  /// backpressure lever (one greedy pipelining client cannot monopolize
+  /// the queue).
+  int max_inflight_per_conn = 256;
+
+  /// Batching queue flush thresholds: a worker pops as soon as the queue
+  /// holds batch_max requests, or the oldest queued request has waited
+  /// flush_us microseconds, whichever comes first.
+  int batch_max = 32;
+  std::int64_t flush_us = 500;
+
+  /// Close connections idle (no traffic, nothing in flight) longer than
+  /// this. <= 0 disables idle harvesting.
+  std::int64_t idle_timeout_ms = 30000;
+
+  /// Per-connection write-buffer cap; a client that stops reading while
+  /// responses pile past this is closed rather than buffered forever.
+  std::size_t max_write_buffer = 8u << 20;
+};
+
+/// Monotone counter snapshot (plus two instantaneous gauges: queue_depth,
+/// in_flight). See the conservation law in the header comment.
+struct ServerStats {
+  std::int64_t accepted_connections = 0;
+  std::int64_t closed_connections = 0;
+  std::int64_t accepted_requests = 0;  ///< well-framed requests, incl. BUSY
+  std::int64_t answered_requests = 0;  ///< successful replies produced
+  std::int64_t rejected_busy = 0;      ///< admission-control kBusy replies
+  std::int64_t rejected_error = 0;     ///< kError replies (malformed payload…)
+  std::int64_t protocol_errors = 0;    ///< framing-level garbage; conn closed
+  std::int64_t idle_closed = 0;        ///< connections harvested by the timeout
+  std::int64_t reloads = 0;            ///< successful engine swaps
+  std::int64_t queue_depth = 0;        ///< gauge: queued, not yet popped
+  std::int64_t in_flight = 0;          ///< gauge: admitted, not yet answered
+};
+
+/// The daemon. Construct with an engine, start(), serve until stop().
+/// All public methods are thread-safe; stop() is idempotent and also runs
+/// from the destructor.
+class Server {
+ public:
+  Server(std::shared_ptr<serve::QueryEngine> engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the I/O + worker threads. Throws
+  /// std::runtime_error if the socket cannot be set up.
+  void start();
+
+  /// Graceful shutdown: stop accepting, let workers drain the queue,
+  /// flush every write buffer (bounded by a ~5 s hard deadline), then
+  /// join all threads and audit the conservation ledger.
+  void stop();
+
+  /// Actual bound port (after start(); resolves port 0).
+  std::uint16_t port() const noexcept;
+
+  /// Swaps the serving engine (see header comment). Throws
+  /// std::invalid_argument if `engine` is null or its vertex count
+  /// differs from the current engine's.
+  void reload(std::shared_ptr<serve::QueryEngine> engine);
+
+  /// Current engine snapshot (what the next batch will be served by).
+  std::shared_ptr<serve::QueryEngine> engine() const;
+
+  ServerStats stats() const;
+
+  /// One-line JSON: ServerStats counters, merged latency histogram,
+  /// cumulative cache stats, per-interval cache stats
+  /// (cache_stats_delta), and — when audits are enabled — the invariant
+  /// counters. What the STATS request returns and `usne_served --json`
+  /// embeds at shutdown.
+  std::string stats_json() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace usne::net

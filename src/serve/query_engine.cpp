@@ -348,6 +348,20 @@ CacheStats QueryEngine::cache_stats() const {
   return stats;
 }
 
+CacheStats QueryEngine::cache_stats_delta() const {
+  std::lock_guard<std::mutex> lock(delta_mutex_);
+  const CacheStats cur = cache_stats();
+  CacheStats delta;
+  delta.hits = cur.hits - delta_baseline_.hits;
+  delta.misses = cur.misses - delta_baseline_.misses;
+  delta.coalesced = cur.coalesced - delta_baseline_.coalesced;
+  delta.sssp_runs = cur.sssp_runs - delta_baseline_.sssp_runs;
+  delta.evictions = cur.evictions - delta_baseline_.evictions;
+  delta.entries = cur.entries;  // absolute, not an interval delta
+  delta_baseline_ = cur;
+  return delta;
+}
+
 BatchResult QueryEngine::serve(std::span<const Query> queries,
                                int threads) const {
   if (threads == 0) {
@@ -360,13 +374,27 @@ BatchResult QueryEngine::serve(std::span<const Query> queries,
   result.answers.assign(queries.size(), 0);
   const CacheStats before = cache_stats();
 
-  const auto run_one = [&](std::size_t i) {
+  // Latency recording is opt-in: the histogram is thread-safe (relaxed
+  // atomics), so every serving lane records into the one instance.
+  std::shared_ptr<LatencyHistogram> latency =
+      options_.record_latency ? std::make_shared<LatencyHistogram>() : nullptr;
+
+  const auto answer_one = [&](std::size_t i) {
     const Query& q = queries[i];
     if (q.all) {
       result.answers[i] = checksum_fold(*query_all(q.u));
     } else {
       result.answers[i] = query(q.u, q.v);
     }
+  };
+  const auto run_one = [&](std::size_t i) {
+    if (!latency) {
+      answer_one(i);
+      return;
+    }
+    Timer per_query;
+    answer_one(i);
+    latency->record(static_cast<std::uint64_t>(per_query.seconds() * 1e6));
   };
 
   const bool parallel = threads > 1 && queries.size() > 1;
@@ -465,6 +493,7 @@ BatchResult QueryEngine::serve(std::span<const Query> queries,
   std::uint64_t hash = kChecksumSeed;
   for (const Dist d : result.answers) hash = checksum_accumulate(hash, d);
   result.checksum = hash;
+  result.latency = std::move(latency);
   return result;
 }
 

@@ -34,6 +34,7 @@
 #include "graph/graph.hpp"
 #include "graph/weighted_graph.hpp"
 #include "path/sssp_kernel.hpp"
+#include "serve/latency_histogram.hpp"
 #include "serve/workload.hpp"
 #include "util/thread_pool.hpp"
 
@@ -113,6 +114,11 @@ struct ServeOptions {
   /// enabled (an uncached engine stays a strict recompute-every-query
   /// reference). Answers are unaffected either way.
   bool source_memo = true;
+
+  /// Record per-query service latency into BatchResult::latency during
+  /// serve() (a LatencyHistogram; two steady_clock reads per query). Off
+  /// by default so throughput benches measure serving, not timing.
+  bool record_latency = false;
 };
 
 /// Cache counter snapshot (cumulative since construction).
@@ -140,6 +146,10 @@ struct BatchResult {
   double wall_s = 0;
   double qps = 0;                ///< queries / wall_s
   std::uint64_t checksum = 0;    ///< FNV-1a over `answers`, order-sensitive
+
+  /// Per-query service-latency histogram (microseconds), populated only
+  /// when ServeOptions::record_latency was set; nullptr otherwise.
+  std::shared_ptr<const LatencyHistogram> latency;
 
   /// One-line JSON of the batch counters (sorted keys), the record
   /// usne_run query and bench_query_throughput embed.
@@ -186,6 +196,14 @@ class QueryEngine {
   /// Cumulative cache counters since construction.
   CacheStats cache_stats() const;
 
+  /// Counters accrued since the previous cache_stats_delta() call (or
+  /// construction), for per-interval rates: the daemon's STATS endpoint.
+  /// Calls are serialized on an internal baseline, so every increment is
+  /// reported in exactly one interval — concurrent queries never make an
+  /// increment vanish or count twice across intervals. `entries` stays the
+  /// absolute resident count (a delta would go negative under eviction).
+  CacheStats cache_stats_delta() const;
+
   const WeightedGraph& emulator() const noexcept { return h_; }
   double alpha() const noexcept { return alpha_; }
   Dist beta() const noexcept { return beta_; }
@@ -221,6 +239,11 @@ class QueryEngine {
 
   std::unique_ptr<Cache> cache_;
   mutable std::atomic<std::int64_t> sssp_runs_{0};
+
+  // Interval baseline for cache_stats_delta (the mutex orders snapshots so
+  // intervals partition the monotone counters exactly).
+  mutable std::mutex delta_mutex_;
+  mutable CacheStats delta_baseline_;
 
   // Lazily created batch fan-out pool (see serve()); pool_mutex_ guards
   // both creation and use (util::ThreadPool::parallel_for is not

@@ -13,6 +13,8 @@
 //   * build_spanner / build_spanner_congest — near-additive spanners (§4)
 //   * serve::QueryEngine           — concurrent batched distance queries on
 //     any BuildOutput (sharded SSSP cache, reproducible workloads)
+//   * net::Server / net::Client    — TCP serving daemon around the engine
+//     (usne_served) and its blocking wire client (usne_loadgen)
 //   * ApproxDistanceOracle         — preprocess/query application (thin
 //     wrapper over the serve engine)
 //   * evaluate_stretch_exact / audit_all — verification utilities
@@ -49,11 +51,15 @@
 #include "graph/io.hpp"
 #include "graph/weighted_graph.hpp"
 #include "hopset/hopset.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
 #include "oracle/distance_oracle.hpp"
 #include "path/apsp.hpp"
 #include "path/bfs.hpp"
 #include "path/dijkstra.hpp"
 #include "path/source_detection.hpp"
+#include "serve/latency_histogram.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/stats.hpp"
 #include "serve/workload.hpp"

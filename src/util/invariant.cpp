@@ -48,6 +48,7 @@ const char* category_name(Category c) noexcept {
     case Category::kServeCache: return "serve_cache";
     case Category::kSssp: return "sssp";
     case Category::kCsr: return "csr";
+    case Category::kDaemon: return "daemon";
   }
   return "?";
 }

@@ -20,6 +20,10 @@
 //                drained, relaxation fixpoint
 //   kCsr         WeightedGraph::Csr structural validity (sorted offsets,
 //                in-range targets, symmetric arcs)
+//   kDaemon      net::Server request conservation: every well-framed
+//                request is answered, rejected, or in flight — at
+//                shutdown, accepted == answered + rejected and
+//                in_flight == 0
 //
 // Two macro tiers:
 //
@@ -56,12 +60,13 @@ enum class Category : int {
   kServeCache,
   kSssp,
   kCsr,
+  kDaemon,
 };
 
-inline constexpr int kNumCategories = 5;
+inline constexpr int kNumCategories = 6;
 
 /// Stable lowercase name ("transport" | "scheduler" | "serve_cache" |
-/// "sssp" | "csr") for counters_json and fail messages.
+/// "sssp" | "csr" | "daemon") for counters_json and fail messages.
 const char* category_name(Category c) noexcept;
 
 /// What the default fail handler throws.

@@ -20,6 +20,8 @@
 #include "congest/transport.hpp"
 #include "graph/generators.hpp"
 #include "graph/weighted_graph.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/workload.hpp"
 #include "util/invariant.hpp"
@@ -168,8 +170,8 @@ TEST(InvariantCounters, CheckedAndFiredAccounting) {
 TEST(InvariantCounters, EveryCategoryHasAStableName) {
   const auto counters = inv::counters();
   ASSERT_EQ(counters.size(), static_cast<std::size_t>(inv::kNumCategories));
-  const std::vector<std::string> expected = {"transport", "scheduler",
-                                             "serve_cache", "sssp", "csr"};
+  const std::vector<std::string> expected = {
+      "transport", "scheduler", "serve_cache", "sssp", "csr", "daemon"};
   for (std::size_t i = 0; i < counters.size(); ++i) {
     EXPECT_EQ(counters[i].name, expected[i]);
   }
@@ -384,6 +386,27 @@ TEST(InvariantCoverage, AllCategoriesExercisedWithZeroFirings) {
     workload.num_queries = 64;
     const auto queries = serve::generate_workload(g.num_vertices(), workload);
     engine.serve(queries, 2);
+  }
+
+  // kDaemon: serve one request over loopback and shut down — stop() checks
+  // the request-conservation ledger and the zero-drain postcondition.
+  {
+    const Graph g = gen_gnm(64, 256, 11);
+    BuildSpec spec;
+    spec.algorithm = "emulator_fast";
+    spec.params.rho = 0.4;
+    spec.params.eps = 0.5;
+    auto engine = std::make_shared<serve::QueryEngine>(build(g, spec),
+                                                       serve::ServeOptions{});
+    net::ServerOptions options;
+    options.workers = 1;
+    net::Server server(engine, options);
+    server.start();
+    net::Client client;
+    client.connect("127.0.0.1", server.port());
+    client.query_pair(0, 1);
+    client.close();
+    server.stop();
   }
 
   for (int c = 0; c < inv::kNumCategories; ++c) {

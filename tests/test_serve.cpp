@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <thread>
@@ -414,6 +416,190 @@ TEST(BatchResult, StatsJsonCarriesChecksumAndCounters) {
             std::string::npos);
   EXPECT_NE(json.find("\"queries\": 200"), std::string::npos);
   EXPECT_NE(json.find("\"sssp_runs\": "), std::string::npos);
+}
+
+// --- latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  serve::LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(serve::LatencyHistogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(serve::LatencyHistogram::bucket_upper_bound(
+                  serve::LatencyHistogram::bucket_index(v)),
+              v);
+  }
+  h.record(7);
+  EXPECT_EQ(h.percentile(0.5), 7u);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 7u);
+  EXPECT_EQ(h.max_value(), 7u);
+}
+
+TEST(LatencyHistogram, BucketMappingIsMonotoneAndSelfConsistent) {
+  int prev = -1;
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{15},
+        std::uint64_t{16}, std::uint64_t{17}, std::uint64_t{100},
+        std::uint64_t{1000}, std::uint64_t{12345}, std::uint64_t{1} << 31,
+        std::uint64_t{1} << 62}) {
+    const int b = serve::LatencyHistogram::bucket_index(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, serve::LatencyHistogram::kBucketCount);
+    // The bucket's upper bound is >= v and within 12.5% of it.
+    const std::uint64_t ub = serve::LatencyHistogram::bucket_upper_bound(b);
+    EXPECT_GE(ub, v);
+    EXPECT_LE(ub - v, v / 8 + 1);
+    prev = b;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesBoundedByResolution) {
+  serve::LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000);
+  // p50 of 1..1000 is 500; log-bucket resolution is 12.5%.
+  EXPECT_GE(h.percentile(0.5), 500u);
+  EXPECT_LE(h.percentile(0.5), 563u);
+  EXPECT_GE(h.percentile(0.99), 990u);
+  EXPECT_LE(h.percentile(0.99), 1000u);  // clamped to max_value
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, MergeAddsCountsAndKeepsMax) {
+  serve::LatencyHistogram a;
+  serve::LatencyHistogram b;
+  a.record(10);
+  a.record(100);
+  b.record(5000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.max_value(), 5000u);
+  EXPECT_EQ(a.sum(), 5110u);
+  const std::string json = a.stats_json();
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"p999_us\": "), std::string::npos);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  serve::LatencyHistogram h;
+  const int threads = 8;
+  const int per_thread = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&h] {
+      for (int i = 0; i < per_thread; ++i) {
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(threads) * per_thread);
+  EXPECT_EQ(h.max_value(), static_cast<std::uint64_t>(per_thread - 1));
+}
+
+// --- per-interval cache stats (cache_stats_delta) ---------------------------
+
+TEST(QueryEngine, CacheStatsDeltaPartitionsTheCounters) {
+  const Graph g = gen_connected_gnm(200, 800, 11);
+  const QueryEngine engine(build_emulator(g));
+  WorkloadSpec spec;
+  spec.num_queries = 400;
+  spec.seed = 5;
+  const auto queries = serve::generate_workload(200, spec);
+
+  engine.serve(queries, 1);
+  const serve::CacheStats d1 = engine.cache_stats_delta();
+  engine.serve(queries, 1);
+  const serve::CacheStats d2 = engine.cache_stats_delta();
+  const serve::CacheStats total = engine.cache_stats();
+
+  // Every increment lands in exactly one interval.
+  EXPECT_EQ(d1.hits + d2.hits, total.hits);
+  EXPECT_EQ(d1.misses + d2.misses, total.misses);
+  EXPECT_EQ(d1.sssp_runs + d2.sssp_runs, total.sssp_runs);
+  EXPECT_EQ(d1.evictions + d2.evictions, total.evictions);
+  // entries stays absolute, not an interval delta.
+  EXPECT_EQ(d2.entries, total.entries);
+  // The second pass is all-hot: no new SSSP work in its interval.
+  EXPECT_EQ(d2.sssp_runs, 0);
+  EXPECT_GT(d1.sssp_runs, 0);
+  // A quiet interval reads all-zero (except the absolute entries gauge).
+  const serve::CacheStats d3 = engine.cache_stats_delta();
+  EXPECT_EQ(d3.hits, 0);
+  EXPECT_EQ(d3.misses, 0);
+  EXPECT_EQ(d3.entries, total.entries);
+}
+
+TEST(QueryEngine, CacheStatsDeltaConcurrentWithQueries) {
+  // TSan coverage: interval snapshots taken while queries are in flight
+  // must stay non-negative and sum (with the final flush) to the
+  // cumulative counters.
+  const Graph g = gen_connected_gnm(300, 1200, 13);
+  const QueryEngine engine(build_emulator(g));
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kZipf;
+  spec.num_queries = 2000;
+  spec.seed = 8;
+  const auto queries = serve::generate_workload(300, spec);
+
+  std::atomic<bool> done{false};
+  serve::CacheStats accumulated;
+  std::thread sampler([&] {
+    while (!done.load()) {
+      const serve::CacheStats d = engine.cache_stats_delta();
+      EXPECT_GE(d.hits, 0);
+      EXPECT_GE(d.misses, 0);
+      EXPECT_GE(d.sssp_runs, 0);
+      accumulated.hits += d.hits;
+      accumulated.misses += d.misses;
+      accumulated.sssp_runs += d.sssp_runs;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::vector<std::thread> lanes;
+  for (int t = 0; t < 4; ++t) {
+    lanes.emplace_back([&] { engine.serve(queries, 1); });
+  }
+  for (auto& t : lanes) t.join();
+  done.store(true);
+  sampler.join();
+
+  const serve::CacheStats tail = engine.cache_stats_delta();
+  accumulated.hits += tail.hits;
+  accumulated.misses += tail.misses;
+  accumulated.sssp_runs += tail.sssp_runs;
+  const serve::CacheStats total = engine.cache_stats();
+  EXPECT_EQ(accumulated.hits, total.hits);
+  EXPECT_EQ(accumulated.misses, total.misses);
+  EXPECT_EQ(accumulated.sssp_runs, total.sssp_runs);
+}
+
+// --- per-query latency recording (ServeOptions::record_latency) -------------
+
+TEST(QueryEngine, ServeRecordsLatencyOnlyWhenRequested) {
+  const Graph g = gen_connected_gnm(150, 600, 17);
+  const BuildOutput built = build_emulator(g);
+  WorkloadSpec spec;
+  spec.num_queries = 300;
+  spec.seed = 4;
+  const auto queries = serve::generate_workload(150, spec);
+
+  const QueryEngine plain(built);
+  EXPECT_EQ(plain.serve(queries, 1).latency, nullptr);
+
+  ServeOptions options;
+  options.record_latency = true;
+  const QueryEngine timed(built, options);
+  const BatchResult batch = timed.serve(queries, 2);
+  ASSERT_NE(batch.latency, nullptr);
+  EXPECT_EQ(batch.latency->count(), 300);
+  EXPECT_NE(batch.latency->stats_json().find("\"p50_us\": "),
+            std::string::npos);
+  // Timing must not change the answers.
+  EXPECT_EQ(batch.checksum, plain.serve(queries, 1).checksum);
 }
 
 }  // namespace
