@@ -53,7 +53,7 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = usne::MonoClock;
 
 struct ConnStats {
   std::int64_t busy_retries = 0;
@@ -86,7 +86,8 @@ int run(int argc, char** argv) {
            {"seed", "verify: generator + build seed (default 2024)"},
            {"cache-mb", "verify: engine cache budget (default 64)"},
            {"kernel", "verify: SSSP kernel dial|delta (default dial)"},
-           {"json", "append the result row to FILE ('-' = stdout)"}},
+           {"json", "append the result row to FILE ('-' = stdout)"},
+           {"scrape-metrics", "after the run, fetch the daemon's Prometheus metrics page to FILE ('-' = stdout)"}},
           /*allow_positional=*/false,
           /*switches=*/{"verify"});
   if (cli.help_requested() || !cli.errors().empty()) {
@@ -254,6 +255,28 @@ int run(int argc, char** argv) {
     std::cout << "  verify: " << (match == 1 ? "MATCH" : "MISMATCH");
   }
   std::cout << '\n';
+
+  // --scrape-metrics: one METRICS round-trip once the workload has fully
+  // drained — the page is quiescent, so its usne_net_* counters reconcile
+  // exactly with the daemon's request ledger (what the check.sh obs smoke
+  // asserts).
+  if (cli.has("scrape-metrics")) {
+    net::Client scraper;
+    scraper.connect(host, port);
+    const std::string page = scraper.metrics_text();
+    const std::string path = cli.get("scrape-metrics", "-");
+    if (path == "-") {
+      std::cout << page;
+    } else {
+      std::ofstream f(path);
+      f << page;
+      f.flush();
+      if (!f) {
+        std::cerr << "error: could not write " << path << '\n';
+        return 1;
+      }
+    }
+  }
 
   if (cli.has("json")) {
     std::ostringstream row;

@@ -29,9 +29,11 @@
 
 #include "api/build.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/stats.hpp"
 #include "serve/workload.hpp"
+#include "util/build_info.hpp"
 #include "util/cli.hpp"
 #include "util/invariant.hpp"
 #include "util/mem.hpp"
@@ -66,6 +68,77 @@ std::string invariants_field() {
   return ", \"invariants\": " + usne::inv::counters_json();
 }
 
+/// `--profile`: per-(phase, task) scheduler stage breakdown plus the
+/// attribution-coverage line the acceptance gate reads (stage_sum must
+/// reach >= 95% of the summed scheduler wall time — anything less means a
+/// stage is escaping attribution).
+void print_profile(const std::vector<usne::congest::PhaseProfileEntry>& prof) {
+  using usne::format_double;
+  if (prof.empty()) {
+    std::cout << "profile: empty (only CONGEST algorithms are profiled)\n";
+    return;
+  }
+  usne::Table table({"task", "rounds", "deliver_ms", "compute_ms",
+                     "replay_ms", "end_round_ms", "other_ms", "wall_ms"});
+  usne::congest::StageTimes total;
+  for (const usne::congest::PhaseProfileEntry& e : prof) {
+    const usne::congest::StageTimes& t = e.times;
+    table.row()
+        .add(e.label)
+        .add(t.rounds)
+        .add(t.deliver_s * 1e3, 3)
+        .add(t.compute_s * 1e3, 3)
+        .add(t.replay_s * 1e3, 3)
+        .add(t.end_round_s * 1e3, 3)
+        .add((t.init_s + t.drain_s) * 1e3, 3)
+        .add(t.wall_s * 1e3, 3);
+    total += t;
+  }
+  table.print(std::cout, "construction profile");
+  const double coverage =
+      total.wall_s > 0 ? total.stage_sum_s() / total.wall_s : 1.0;
+  std::cout << "profile: " << prof.size() << " tasks, scheduler wall = "
+            << format_double(total.wall_s * 1e3, 3) << " ms, stage coverage = "
+            << format_double(coverage * 100.0, 1) << "%\n";
+}
+
+/// `--profile` JSON rider: labeled stage times, one object per task.
+std::string profile_json(
+    const std::vector<usne::congest::PhaseProfileEntry>& prof) {
+  std::ostringstream out;
+  out << ", \"profile\": [";
+  for (std::size_t i = 0; i < prof.size(); ++i) {
+    const usne::congest::StageTimes& t = prof[i].times;
+    if (i > 0) out << ", ";
+    out << "{\"compute_s\": " << t.compute_s
+        << ", \"deliver_s\": " << t.deliver_s
+        << ", \"drain_s\": " << t.drain_s
+        << ", \"end_round_s\": " << t.end_round_s
+        << ", \"init_s\": " << t.init_s << ", \"rounds\": " << t.rounds
+        << ", \"task\": \"" << prof[i].label
+        << "\", \"wall_s\": " << t.wall_s << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+/// `--trace-out FILE`: dump the per-thread span rings as one Chrome
+/// trace-event JSON file (chrome://tracing / Perfetto load it directly).
+int dump_trace(const std::string& path) {
+  usne::obs::trace_set_enabled(false);
+  std::ofstream file(path);
+  file << usne::obs::trace_dump_chrome_json();
+  file.flush();
+  if (!file) {
+    std::cerr << "error: could not write " << path << '\n';
+    return 1;
+  }
+  std::cout << "[wrote " << path << ": " << usne::obs::trace_retained_events()
+            << " trace events, " << usne::obs::trace_dropped_events()
+            << " dropped]\n";
+  return 0;
+}
+
 /// `usne_run query`: wrap the built H in a QueryEngine, expand the
 /// requested workload, serve it, and report throughput + answer quality.
 int run_query(const usne::Cli& cli, const usne::Graph& g,
@@ -86,6 +159,7 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
   options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 0));
   options.kernel = parse_sssp_kernel(cli.get("kernel", "dial"));
   options.delta = cli.get_int("delta", 0);
+  options.slow_query_us = cli.get_int("slow-query-us", 0);
   // Per-query service-latency percentiles ride along in the query record
   // (the same serve::LatencyHistogram the daemon's STATS endpoint merges).
   options.record_latency = true;
@@ -172,6 +246,7 @@ int run_query(const usne::Cli& cli, const usne::Graph& g,
            << ", \"latency\": "
            << (batch.latency ? batch.latency->stats_json() : std::string("{}"))
            << ", \"stretch\": " << stretch.stats_json()
+           << ", \"build_info\": " << util::build_info_json()
            << invariants_field() << "}\n";
     const std::string path = cli.get("json", "-");
     if (path == "-") {
@@ -223,9 +298,12 @@ int run(int argc, char** argv) {
            {"kernel", "query: SSSP kernel dial|delta (default dial)"},
            {"delta", "query: delta-stepping bucket width, 0 = auto (default 0)"},
            {"degree-sort", "serve H degree-renumbered internally (default off)"},
-           {"stretch-sample", "query: pairs stretch-checked vs BFS on G (default 100)"}},
+           {"stretch-sample", "query: pairs stretch-checked vs BFS on G (default 100)"},
+           {"profile", "print the per-phase CONGEST construction profile"},
+           {"trace-out", "write span traces to FILE (Chrome trace-event JSON)"},
+           {"slow-query-us", "query: log queries at/over N us to stderr (default off)"}},
           /*allow_positional=*/true,
-          /*switches=*/{"list", "rescale", "audit", "degree-sort"});
+          /*switches=*/{"list", "rescale", "audit", "degree-sort", "profile"});
   if (cli.help_requested() || !cli.errors().empty()) {
     for (const auto& e : cli.errors()) std::cerr << "error: " << e << '\n';
     std::cout << cli.usage("usne_run");
@@ -281,6 +359,7 @@ int run(int argc, char** argv) {
   spec.exec.num_threads = static_cast<int>(cli.get_int("threads", 1));
   spec.exec.keep_audit_data = cli.get_bool("audit", false);
   spec.exec.degree_sort = cli.get_bool("degree-sort", false);
+  spec.exec.profile = cli.get_bool("profile", false);
   spec.exec.seed = seed;
   spec.exec.transport.model =
       congest::parse_transport_model(cli.get("transport", "ideal"));
@@ -291,12 +370,21 @@ int run(int argc, char** argv) {
   spec.exec.transport.latency_max = cli.get_int("latency-max", 1);
 
   const Graph g = gen_family(family, n, seed);
+  const bool tracing = cli.has("trace-out");
+  if (tracing) obs::trace_set_enabled(true);
   Timer timer;
   const BuildOutput out = build(g, spec);
   const double wall_s = timer.seconds();
 
+  if (spec.exec.profile) print_profile(out.profile);
+
   if (query_mode) {
-    return run_query(cli, g, spec, out, family, seed, wall_s);
+    const int rc = run_query(cli, g, spec, out, family, seed, wall_s);
+    if (tracing) {
+      const int trc = dump_trace(cli.get("trace-out", "trace.json"));
+      if (rc == 0) return trc;
+    }
+    return rc;
   }
 
   std::cout << describe(spec.algorithm).summary << '\n'
@@ -333,6 +421,11 @@ int run(int argc, char** argv) {
   }
   std::cout << "built in " << wall_s << "s\n";
 
+  if (tracing) {
+    const int trc = dump_trace(cli.get("trace-out", "trace.json"));
+    if (trc != 0) return trc;
+  }
+
   if (cli.has("json")) {
     std::ostringstream record;
     record << "{\"driver\": \"usne_run\", \"family\": \"" << family
@@ -347,6 +440,8 @@ int run(int argc, char** argv) {
            << ", \"dup_p\": " << spec.exec.transport.dup_p
            << ", \"latency_max\": " << spec.exec.transport.latency_max
            << ", \"build\": " << out.stats_json()
+           << ", \"build_info\": " << util::build_info_json()
+           << (spec.exec.profile ? profile_json(out.profile) : std::string())
            << invariants_field() << "}\n";
     const std::string path = cli.get("json", "-");
     if (path == "-") {

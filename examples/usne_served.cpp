@@ -21,11 +21,25 @@
 // The --port-file flag writes the actual bound port (resolving --port 0)
 // once listening — the rendezvous the smoke test and loadgen use. The
 // --json record embeds net::Server::stats_json(): counters, p50/p99/p999
-// service-latency percentiles, cumulative + per-interval cache stats, and
-// (when audits are on) the invariant ledger including the kDaemon request
-// conservation counters.
+// service-latency percentiles, cumulative + per-interval cache stats,
+// build_info + uptime_s, and (when audits are on) the invariant ledger
+// including the kDaemon request conservation counters.
+//
+// Observability extras:
+//   --metrics-file F       rewrite F (atomically: tmp + rename) with the
+//                          Prometheus metrics page every --stats-interval-s
+//                          seconds and once at shutdown — file-based
+//                          scraping without a wire client.
+//   --stats-interval-s S   also log the one-line STATS JSON to stdout every
+//                          S seconds (default 5 when --metrics-file is set,
+//                          otherwise off).
+//   --trace-out F          enable span tracing and dump Chrome trace-event
+//                          JSON to F at shutdown.
+//   --slow-query-us N      stderr SLOW_QUERY lines for engine queries at or
+//                          over N microseconds.
 
 #include <csignal>
+#include <cstdio>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -39,6 +53,8 @@
 #include "api/build.hpp"
 #include "graph/generators.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/query_engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -85,7 +101,11 @@ int run(int argc, char** argv) {
            {"port-file", "write the bound port to FILE once listening"},
            {"reload-fifo", "FIFO path; any write triggers a live reload"},
            {"duration", "exit after S seconds, 0 = until signal (default 0)"},
-           {"json", "write the shutdown stats record to FILE ('-' = stdout)"}},
+           {"json", "write the shutdown stats record to FILE ('-' = stdout)"},
+           {"metrics-file", "rewrite FILE with the Prometheus metrics page periodically"},
+           {"stats-interval-s", "metrics/stats logging interval in seconds (default 5)"},
+           {"trace-out", "write span traces to FILE at shutdown (Chrome JSON)"},
+           {"slow-query-us", "log engine queries at/over N us to stderr (default off)"}},
           /*allow_positional=*/false,
           /*switches=*/{"rescale", "degree-sort"});
   if (cli.help_requested() || !cli.errors().empty()) {
@@ -113,6 +133,7 @@ int run(int argc, char** argv) {
   serve_options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 0));
   serve_options.kernel = parse_sssp_kernel(cli.get("kernel", "dial"));
   serve_options.delta = cli.get_int("delta", 0);
+  serve_options.slow_query_us = cli.get_int("slow-query-us", 0);
 
   net::ServerOptions server_options;
   server_options.host = cli.get("host", "127.0.0.1");
@@ -126,6 +147,30 @@ int run(int argc, char** argv) {
   server_options.idle_timeout_ms = cli.get_int("idle-timeout-ms", 30000);
 
   const double duration_s = cli.get_double("duration", 0.0);
+  const std::string metrics_path = cli.get("metrics-file", "");
+  const std::string trace_path = cli.get("trace-out", "");
+  // Periodic stats logging is on whenever an interval or a metrics file is
+  // requested; the interval defaults to 5 s.
+  const double stats_interval_s =
+      cli.has("stats-interval-s") ? cli.get_double("stats-interval-s", 5.0)
+                                  : (metrics_path.empty() ? 0.0 : 5.0);
+  const bool log_stats = cli.has("stats-interval-s");
+
+  // Atomic rewrite (tmp + rename) so a concurrent reader of the metrics
+  // file never sees a half-written page.
+  auto write_metrics_file = [&]() -> bool {
+    if (metrics_path.empty()) return true;
+    const std::string tmp = metrics_path + ".tmp";
+    {
+      std::ofstream f(tmp);
+      f << obs::Registry::global().prometheus_text();
+      f.flush();
+      if (!f) return false;
+    }
+    return std::rename(tmp.c_str(), metrics_path.c_str()) == 0;
+  };
+
+  if (!trace_path.empty()) obs::trace_set_enabled(true);
 
   // Build once up front; reloads repeat exactly this.
   const Graph g = gen_family(family, n, seed);
@@ -182,6 +227,7 @@ int run(int argc, char** argv) {
   }
 
   usne::Timer uptime;
+  usne::Timer stats_timer;
   while (g_shutdown == 0) {
     if (duration_s > 0 && uptime.seconds() >= duration_s) break;
     if (fifo_fd >= 0) {
@@ -196,11 +242,39 @@ int run(int argc, char** argv) {
                 << format_double(reload_timer.seconds(), 2) << "s)\n"
                 << std::flush;
     }
+    if (stats_interval_s > 0 && stats_timer.seconds() >= stats_interval_s) {
+      stats_timer.reset();
+      if (!write_metrics_file()) {
+        std::cerr << "error: could not write " << metrics_path << '\n';
+      }
+      if (log_stats) {
+        std::cout << "STATS " << server.stats_json() << '\n' << std::flush;
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 
+  // Final metrics page before stop(): stop() deregisters the server's
+  // collector, and the last page should still carry the usne_net_* series.
+  if (!write_metrics_file()) {
+    std::cerr << "error: could not write " << metrics_path << '\n';
+    server.stop();
+    return 1;
+  }
   server.stop();
   if (fifo_fd >= 0) ::close(fifo_fd);
+  if (!trace_path.empty()) {
+    obs::trace_set_enabled(false);
+    std::ofstream f(trace_path);
+    f << obs::trace_dump_chrome_json();
+    f.flush();
+    if (!f) {
+      std::cerr << "error: could not write " << trace_path << '\n';
+      return 1;
+    }
+    std::cout << "usne_served: wrote " << trace_path << " ("
+              << obs::trace_retained_events() << " trace events)\n";
+  }
 
   const std::string record = "{\"driver\": \"usne_served\", \"algo\": \"" +
                              spec.algorithm + "\", \"family\": \"" + family +

@@ -141,11 +141,13 @@ const std::vector<Entry>& registry() {
            o.hub_threshold_factor = s.exec.hub_threshold_factor;
            o.num_threads = s.exec.num_threads;
            o.transport = s.exec.transport;
+           o.profile = s.exec.profile;
            auto r = build_emulator_distributed(g, params, o);
            auto out = pack(info, std::move(r.base));
            add_net(out, r.net);
            add_transport(out, r.transport, s.exec.transport);
            out.local = std::move(r.local);
+           out.profile = std::move(r.profile);
            add_guarantee(out, params.schedule, params.describe());
            return out;
          }});
@@ -172,10 +174,12 @@ const std::vector<Entry>& registry() {
          [](const Graph& g, const BuildSpec& s, const AlgorithmInfo& info) {
            const auto params = spanner_params(g, s);
            auto r = build_spanner_congest(g, params, s.exec.keep_audit_data,
-                                          s.exec.num_threads, s.exec.transport);
+                                          s.exec.num_threads, s.exec.transport,
+                                          s.exec.profile);
            auto out = pack(info, std::move(r.base));
            add_net(out, r.net);
            add_transport(out, r.transport, s.exec.transport);
+           out.profile = std::move(r.profile);
            add_guarantee(out, params.schedule, params.describe());
            return out;
          }});
@@ -206,10 +210,12 @@ const std::vector<Entry>& registry() {
            const auto params = dist_params(g, s);
            auto r = build_spanner_congest_em19(g, params, s.exec.keep_audit_data,
                                                s.exec.num_threads,
-                                               s.exec.transport);
+                                               s.exec.transport,
+                                               s.exec.profile);
            auto out = pack(info, std::move(r.base));
            add_net(out, r.net);
            add_transport(out, r.transport, s.exec.transport);
+           out.profile = std::move(r.profile);
            add_guarantee(out, params.schedule, params.describe());
            return out;
          }});

@@ -96,6 +96,14 @@ struct ExecOptions {
   /// and the engine maps every answer back to original ids: H, stats,
   /// checksums and stretch guarantees are bit-identical either way.
   bool degree_sort = false;
+
+  /// Collect the per-task construction profile (BuildOutput::profile):
+  /// scheduler stage times — deliver/compute/replay/end_round — per
+  /// (phase, task), the `usne_run --profile` view. CONGEST algorithms
+  /// only; centralized builds ignore it. Measurement only: counts, H and
+  /// every checksum are bit-identical with profiling on or off, and the
+  /// default (off) reads no clocks in the scheduler at all.
+  bool profile = false;
 };
 
 /// A complete, serializable description of one build: which algorithm plus
@@ -150,6 +158,10 @@ struct BuildOutput {
 
   /// Per-node local edge knowledge (CONGEST emulator only; empty otherwise).
   std::vector<std::vector<std::pair<Vertex, Dist>>> local;
+
+  /// Construction profile (ExecOptions::profile): labeled per-(phase, task)
+  /// scheduler stage times, e.g. "p0.detect". Empty unless requested.
+  std::vector<congest::PhaseProfileEntry> profile;
 
   /// True when `net` is meaningful (the algorithm ran on the simulator).
   bool distributed = false;

@@ -35,6 +35,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -98,6 +99,72 @@ struct NetworkStats {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t words = 0;
+};
+
+/// Wall-clock decomposition of Scheduler::run — where a CONGEST program's
+/// time actually goes, stage by stage:
+///   init       program.init (seeding round 0)
+///   deliver    Network::advance_round (transport + counting-sort scatter)
+///   compute    the on_round fan-out, incl. parallel chunk planning
+///   replay     ascending-order replay of staged parallel sends
+///   end_round  the central end_round hook
+///   drain      end-of-program quiescence (non-ideal transports)
+/// Accumulated by the Scheduler into the sink installed via
+/// Network::set_profile_sink (nullptr = profiling off, zero clock reads).
+/// Several programs run back to back on one network accumulate into the
+/// same sink; callers snapshot per-program deltas via operator- exactly
+/// like they do with Network::stats().
+///
+/// Measurement only: the profile never feeds algorithm output, and counts
+/// and results are bit-identical with profiling on or off.
+struct StageTimes {
+  double init_s = 0;
+  double deliver_s = 0;
+  double compute_s = 0;
+  double replay_s = 0;
+  double end_round_s = 0;
+  double drain_s = 0;
+  double wall_s = 0;  ///< total Scheduler::run wall time
+  std::int64_t rounds = 0;
+
+  /// Sum of the attributed stages; wall_s minus this is untimed scheduler
+  /// overhead (loop control, report assembly). The --profile acceptance
+  /// gate asserts stage_sum_s() >= 0.95 * wall_s.
+  double stage_sum_s() const noexcept {
+    return init_s + deliver_s + compute_s + replay_s + end_round_s + drain_s;
+  }
+
+  StageTimes& operator+=(const StageTimes& o) noexcept {
+    init_s += o.init_s;
+    deliver_s += o.deliver_s;
+    compute_s += o.compute_s;
+    replay_s += o.replay_s;
+    end_round_s += o.end_round_s;
+    drain_s += o.drain_s;
+    wall_s += o.wall_s;
+    rounds += o.rounds;
+    return *this;
+  }
+
+  friend StageTimes operator-(StageTimes a, const StageTimes& b) noexcept {
+    a.init_s -= b.init_s;
+    a.deliver_s -= b.deliver_s;
+    a.compute_s -= b.compute_s;
+    a.replay_s -= b.replay_s;
+    a.end_round_s -= b.end_round_s;
+    a.drain_s -= b.drain_s;
+    a.wall_s -= b.wall_s;
+    a.rounds -= b.rounds;
+    return a;
+  }
+};
+
+/// One labeled slice of a construction profile ("p0.detect", "p1.forest",
+/// ...): the stage times accrued while that task's scheduler runs drove
+/// the network. Builders emit one entry per (phase, task).
+struct PhaseProfileEntry {
+  std::string label;
+  StageTimes times;
 };
 
 /// The simulator. One instance per algorithm execution; primitives send
@@ -198,6 +265,14 @@ class Network {
 
   const NetworkStats& stats() const noexcept { return stats_; }
 
+  /// Installs (or clears, with nullptr) the stage-profile accumulator the
+  /// Scheduler writes into. While null — the default — the Scheduler reads
+  /// no clocks at all, so profiling is pay-for-use. The sink must outlive
+  /// every Scheduler::run on this network (builders keep it in their build
+  /// state and snapshot deltas per task).
+  void set_profile_sink(StageTimes* sink) noexcept { profile_ = sink; }
+  StageTimes* profile_sink() const noexcept { return profile_; }
+
   /// Messages materialized in delivery batches since construction, across
   /// every installed transport. One side of the conservation ledger the
   /// kTransport audit balances every round:
@@ -237,6 +312,8 @@ class Network {
   // reset by comparing against the current round number.
   std::vector<std::int64_t> edge_round_stamp_;
   NetworkStats stats_;
+  // Stage-profile sink for the Scheduler (see set_profile_sink); not owned.
+  StageTimes* profile_ = nullptr;
   // The transport policy (never null; Ideal by default).
   std::unique_ptr<DeliveryModel> model_;
   // Execution policy for the Scheduler (see set_execution_threads).

@@ -493,6 +493,20 @@ DistributedBuildResult build_emulator_distributed(
   b.current = singleton_partition(n);
   if (options.keep_audit_data) b.out.base.partitions.push_back(b.current);
 
+  // Construction profiling: the schedulers of every task accumulate stage
+  // times into one sink on the network; prof_snap cuts a labeled per-task
+  // delta — the exact pattern the round metering below uses with
+  // b.net.stats().rounds.
+  congest::StageTimes prof_acc;
+  congest::StageTimes prof_mark;
+  if (options.profile) b.net.set_profile_sink(&prof_acc);
+  const auto prof_snap = [&](int phase, const char* task) {
+    if (!options.profile) return;
+    b.out.profile.push_back(
+        {"p" + std::to_string(phase) + "." + task, prof_acc - prof_mark});
+    prof_mark = prof_acc;
+  };
+
   for (int i = 0; i <= ell; ++i) {
     const double deg_i = sched.deg[static_cast<std::size_t>(i)];
     const Dist delta_i = sched.delta[static_cast<std::size_t>(i)];
@@ -518,6 +532,7 @@ DistributedBuildResult build_emulator_distributed(
     std::int64_t mark = b.net.stats().rounds;
     const DetectResult det1 = congest::detect_congest(b.net, centers, delta_i, cap);
     stats.rounds_detect = b.net.stats().rounds - mark;
+    prof_snap(i, "detect");
 
     std::vector<Vertex> popular;
     for (const Vertex c : centers) {
@@ -534,6 +549,7 @@ DistributedBuildResult build_emulator_distributed(
       const RulingSet ruling = congest::compute_ruling_set(
           b.net, popular, 2 * delta_i, params.ruling_base);
       stats.rounds_ruling = b.net.stats().rounds - mark;
+      prof_snap(i, "ruling");
 
       // Task 3: BFS forest + backtracking with hub splitting.
       mark = b.net.stats().rounds;
@@ -541,10 +557,12 @@ DistributedBuildResult build_emulator_distributed(
       const BfsForest forest =
           congest::build_bfs_forest(b.net, ruling.members, rul_i + delta_i);
       stats.rounds_forest = b.net.stats().rounds - mark;
+      prof_snap(i, "forest");
 
       mark = b.net.stats().rounds;
       backtrack_superclusters(b, forest, i, deg_i, stats, next);
       stats.rounds_backtrack = b.net.stats().rounds - mark;
+      prof_snap(i, "backtrack");
     }
 
     // Interconnection. U_i = clusters never superclustered.
@@ -599,6 +617,7 @@ DistributedBuildResult build_emulator_distributed(
       }
     }
     stats.rounds_interconnect = b.net.stats().rounds - mark;
+    prof_snap(i, "interconnect");
 
     for (const Vertex c : centers) b.cluster_of[static_cast<std::size_t>(c)] = -1;
     stats.clusters_out = static_cast<std::int64_t>(next.size());
@@ -611,6 +630,7 @@ DistributedBuildResult build_emulator_distributed(
   }
 
   assert(b.current.empty());
+  b.net.set_profile_sink(nullptr);
   b.out.base.total_rounds = b.net.stats().rounds;
   b.out.net = b.net.stats();
   b.out.transport = b.net.transport().counters();

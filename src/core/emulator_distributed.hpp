@@ -64,6 +64,12 @@ struct DistributedOptions {
   /// degraded traffic (deterministically for a fixed seed at any thread
   /// count), which is the robustness workload, not a correctness claim.
   congest::TransportSpec transport{};
+
+  /// Collect the per-task scheduler stage profile
+  /// (DistributedBuildResult::profile). Measurement only — counts and H
+  /// are bit-identical either way; off (the default) costs zero clock
+  /// reads.
+  bool profile = false;
 };
 
 /// Result of a distributed build: the usual audit bundle plus network
@@ -74,6 +80,11 @@ struct DistributedBuildResult {
 
   /// Injected-event counters of the delivery model (all zero under Ideal).
   congest::TransportCounters transport;
+
+  /// Construction profile: one entry per (phase, task) — "p0.detect",
+  /// "p0.ruling", ... — with the scheduler stage times that task accrued.
+  /// Empty unless DistributedOptions::profile was set.
+  std::vector<congest::PhaseProfileEntry> profile;
 
   /// local[v] = edges (other, weight) that vertex v learned about through
   /// the protocol. Every emulator edge (u,v,w) must appear in local[u] and

@@ -250,7 +250,8 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
                                     const std::vector<Dist>& rul,
                                     std::int64_t ruling_base,
                                     bool keep_audit_data, int num_threads,
-                                    const congest::TransportSpec& transport) {
+                                    const congest::TransportSpec& transport,
+                                    bool profile) {
   const Vertex n = g.num_vertices();
   if (params_n != n) {
     throw std::invalid_argument("params were computed for a different n");
@@ -266,6 +267,20 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
   net.set_execution_threads(num_threads);
   net.configure_transport(transport);
   Scheduler scheduler(net);
+
+  // Construction profiling: one stage-time sink on the network, cut into
+  // labeled per-task deltas — the same delta pattern the round metering
+  // uses with net.stats().rounds.
+  congest::StageTimes prof_acc;
+  congest::StageTimes prof_mark;
+  if (profile) net.set_profile_sink(&prof_acc);
+  const auto prof_snap = [&](int phase, const char* task) {
+    if (!profile) return;
+    out.profile.push_back(
+        {"p" + std::to_string(phase) + "." + task, prof_acc - prof_mark});
+    prof_mark = prof_acc;
+  };
+
   std::vector<Cluster> current = singleton_partition(n);
   if (keep_audit_data) out.base.partitions.push_back(current);
   std::vector<std::int32_t> cluster_of(static_cast<std::size_t>(n), -1);
@@ -296,6 +311,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
     std::int64_t mark = net.stats().rounds;
     const DetectResult det = congest::detect_congest(net, centers, delta_i, cap);
     stats.rounds_detect = net.stats().rounds - mark;
+    prof_snap(i, "detect");
 
     std::vector<Vertex> popular;
     for (const Vertex c : centers) {
@@ -312,11 +328,13 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
       const RulingSet ruling =
           congest::compute_ruling_set(net, popular, 2 * delta_i, ruling_base);
       stats.rounds_ruling = net.stats().rounds - mark;
+      prof_snap(i, "ruling");
 
       mark = net.stats().rounds;
       const BfsForest forest =
           congest::build_bfs_forest(net, ruling.members, rul_i + delta_i);
       stats.rounds_forest = net.stats().rounds - mark;
+      prof_snap(i, "forest");
 
       mark = net.stats().rounds;
       MarkUpcastProgram upcast(n, forest, is_center, rul_i + delta_i,
@@ -325,6 +343,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
                                i, stats.supercluster_edges);
       scheduler.run(upcast);
       stats.rounds_backtrack = net.stats().rounds - mark;
+      prof_snap(i, "upcast");
 
       // Supercluster membership (audit bookkeeping; one per tree).
       std::vector<std::int32_t> super_of(static_cast<std::size_t>(n), -1);
@@ -367,6 +386,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
                            stats.interconnect_edges);
     scheduler.run(marks);
     stats.rounds_interconnect = net.stats().rounds - mark;
+    prof_snap(i, "interconnect");
 
     for (const Vertex c : centers) {
       cluster_of[static_cast<std::size_t>(c)] = -1;
@@ -382,6 +402,7 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
   }
 
   assert(current.empty());
+  net.set_profile_sink(nullptr);
   out.base.total_rounds = net.stats().rounds;
   out.net = net.stats();
   out.transport = net.transport().counters();
@@ -392,18 +413,18 @@ DistributedSpannerResult build_impl(const Graph& g, Vertex params_n,
 
 DistributedSpannerResult build_spanner_congest(
     const Graph& g, const SpannerParams& params, bool keep_audit_data,
-    int num_threads, const congest::TransportSpec& transport) {
+    int num_threads, const congest::TransportSpec& transport, bool profile) {
   return build_impl(g, params.n, params.schedule, params.rul,
                     params.ruling_base, keep_audit_data, num_threads,
-                    transport);
+                    transport, profile);
 }
 
 DistributedSpannerResult build_spanner_congest_em19(
     const Graph& g, const DistributedParams& params, bool keep_audit_data,
-    int num_threads, const congest::TransportSpec& transport) {
+    int num_threads, const congest::TransportSpec& transport, bool profile) {
   return build_impl(g, params.n, params.schedule, params.rul,
                     params.ruling_base, keep_audit_data, num_threads,
-                    transport);
+                    transport, profile);
 }
 
 }  // namespace usne

@@ -35,6 +35,11 @@ struct DistributedSpannerResult {
 
   /// Injected-event counters of the delivery model (all zero under Ideal).
   congest::TransportCounters transport;
+
+  /// Construction profile: one entry per (phase, task) — "p0.detect",
+  /// "p0.ruling", ... — with the scheduler stage times that task accrued.
+  /// Empty unless `profile` was requested.
+  std::vector<congest::PhaseProfileEntry> profile;
 };
 
 /// §4 spanner (EN17a-style degree sequence) in CONGEST. `num_threads`
@@ -44,14 +49,17 @@ struct DistributedSpannerResult {
 /// (the default) is the classic synchronous semantics; Faulty/Async run
 /// the same fixed schedule over seeded drops/duplicates/latencies,
 /// deterministically for a fixed seed at any thread count.
+/// `profile` collects the per-task scheduler stage profile (measurement
+/// only; outputs and counts are bit-identical either way).
 DistributedSpannerResult build_spanner_congest(
     const Graph& g, const SpannerParams& params, bool keep_audit_data = true,
-    int num_threads = 1, const congest::TransportSpec& transport = {});
+    int num_threads = 1, const congest::TransportSpec& transport = {},
+    bool profile = false);
 
 /// [EM19] baseline (§3 degree sequence) in CONGEST.
 DistributedSpannerResult build_spanner_congest_em19(
     const Graph& g, const DistributedParams& params,
     bool keep_audit_data = true, int num_threads = 1,
-    const congest::TransportSpec& transport = {});
+    const congest::TransportSpec& transport = {}, bool profile = false);
 
 }  // namespace usne

@@ -200,4 +200,14 @@ std::string Client::stats_json() {
                      f.payload.size());
 }
 
+std::string Client::metrics_text() {
+  const Frame f = call(MsgType::kMetrics, {});
+  if (f.type != MsgType::kMetricsReply) {
+    throw std::runtime_error("Client: bad metrics reply");
+  }
+  if (f.payload.empty()) return {};
+  return std::string(reinterpret_cast<const char*>(f.payload.data()),
+                     f.payload.size());
+}
+
 }  // namespace usne::net

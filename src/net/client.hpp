@@ -78,6 +78,10 @@ class Client {
   /// The daemon's STATS JSON.
   std::string stats_json();
 
+  /// The daemon's METRICS page (Prometheus text exposition of its global
+  /// obs::Registry).
+  std::string metrics_text();
+
   // --- raw frame layer (tests, fault injection) ----------------------------
 
   /// Sends one well-formed frame.

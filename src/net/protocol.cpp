@@ -53,7 +53,7 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 bool is_request_type(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(MsgType::kPing) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kStats);
+         raw <= static_cast<std::uint8_t>(MsgType::kMetrics);
 }
 
 bool is_known_type(std::uint8_t raw) noexcept {
@@ -64,6 +64,7 @@ bool is_known_type(std::uint8_t raw) noexcept {
     case MsgType::kSingleSourceReply:
     case MsgType::kBatchReply:
     case MsgType::kStatsReply:
+    case MsgType::kMetricsReply:
     case MsgType::kBusy:
     case MsgType::kError:
       return true;
@@ -79,11 +80,13 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kSingleSource: return "single_source";
     case MsgType::kBatch: return "batch";
     case MsgType::kStats: return "stats";
+    case MsgType::kMetrics: return "metrics";
     case MsgType::kPong: return "pong";
     case MsgType::kPairReply: return "pair_reply";
     case MsgType::kSingleSourceReply: return "single_source_reply";
     case MsgType::kBatchReply: return "batch_reply";
     case MsgType::kStatsReply: return "stats_reply";
+    case MsgType::kMetricsReply: return "metrics_reply";
     case MsgType::kBusy: return "busy";
     case MsgType::kError: return "error";
   }

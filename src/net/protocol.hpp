@@ -36,6 +36,9 @@
 //                                            checksum_fold — identical to
 //                                            serve::BatchResult::answers)
 //   kStats         ()                     -> kStatsReply (UTF-8 JSON)
+//   kMetrics       ()                     -> kMetricsReply (UTF-8 Prometheus
+//                                            text exposition of the global
+//                                            obs::Registry)
 //
 // Error responses: kBusy (admission control rejected the request — retry
 // later) and kError (protocol/payload problem), both carrying
@@ -70,17 +73,19 @@ enum class MsgType : std::uint8_t {
   kSingleSource = 0x03,
   kBatch = 0x04,
   kStats = 0x05,
+  kMetrics = 0x06,
 
   kPong = 0x81,
   kPairReply = 0x82,
   kSingleSourceReply = 0x83,
   kBatchReply = 0x84,
   kStatsReply = 0x85,
+  kMetricsReply = 0x86,
   kBusy = 0xEB,
   kError = 0xEE,
 };
 
-/// True for the five request types a server accepts.
+/// True for the six request types a server accepts.
 bool is_request_type(std::uint8_t raw) noexcept;
 /// True for any type byte defined by this protocol version.
 bool is_known_type(std::uint8_t raw) noexcept;

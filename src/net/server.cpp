@@ -30,13 +30,17 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/latency_histogram.hpp"
+#include "util/build_info.hpp"
 #include "util/invariant.hpp"
+#include "util/timer.hpp"
 
 namespace usne::net {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = MonoClock;
 
 constexpr std::uint64_t kListenKey = 0;
 constexpr std::uint64_t kWakeKey = 1;
@@ -173,11 +177,6 @@ class Poller {
 
 #endif
 
-std::int64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
-      .count();
-}
-
 std::string cache_json(const serve::CacheStats& c) {
   std::ostringstream out;
   out << "{\"coalesced\": " << c.coalesced << ", \"entries\": " << c.entries
@@ -252,6 +251,34 @@ class Server::Impl {
     for (int w = 0; w < opt_.workers; ++w) {
       workers_.emplace_back([this, w] { run_worker(w); });
     }
+    start_time_ = Clock::now();
+
+    // Mirror ServerStats into the global metrics registry. A collector
+    // (not handles) so the page reflects the same atomics the invariant
+    // ledger audits — the two can never drift apart.
+    collector_id_ = obs::Registry::global().add_collector([this] {
+      const ServerStats s = stats();
+      std::vector<obs::Sample> out;
+      out.push_back({"usne_net_accepted_connections_total",
+                     s.accepted_connections, true});
+      out.push_back({"usne_net_accepted_requests_total",
+                     s.accepted_requests, true});
+      out.push_back({"usne_net_answered_requests_total",
+                     s.answered_requests, true});
+      out.push_back({"usne_net_closed_connections_total",
+                     s.closed_connections, true});
+      out.push_back({"usne_net_idle_closed_total", s.idle_closed, true});
+      out.push_back({"usne_net_in_flight", s.in_flight, false});
+      out.push_back({"usne_net_protocol_errors_total",
+                     s.protocol_errors, true});
+      out.push_back({"usne_net_queue_depth", s.queue_depth, false});
+      out.push_back({"usne_net_rejected_busy_total", s.rejected_busy, true});
+      out.push_back({"usne_net_rejected_error_total",
+                     s.rejected_error, true});
+      out.push_back({"usne_net_reloads_total", s.reloads, true});
+      return out;
+    });
+    collector_registered_ = true;
     started_ = true;
   }
 
@@ -307,6 +334,11 @@ class Server::Impl {
                "connection conservation: accepted=" +
                    std::to_string(s.accepted_connections) + " closed=" +
                    std::to_string(s.closed_connections));
+
+    if (collector_registered_) {
+      obs::Registry::global().remove_collector(collector_id_);
+      collector_registered_ = false;
+    }
   }
 
   std::uint16_t port() const noexcept { return bound_port_; }
@@ -360,6 +392,7 @@ class Server::Impl {
     out << "{\"accepted_connections\": " << s.accepted_connections
         << ", \"accepted_requests\": " << s.accepted_requests
         << ", \"answered_requests\": " << s.answered_requests
+        << ", \"build_info\": " << util::build_info_json()
         << ", \"cache\": " << cache_json(cumulative)
         << ", \"cache_interval\": " << cache_json(interval)
         << ", \"closed_connections\": " << s.closed_connections
@@ -373,8 +406,9 @@ class Server::Impl {
         << ", \"queue_depth\": " << s.queue_depth
         << ", \"rejected_busy\": " << s.rejected_busy
         << ", \"rejected_error\": " << s.rejected_error
-        << ", \"reloads\": " << s.reloads << ", \"workers\": " << opt_.workers
-        << "}";
+        << ", \"reloads\": " << s.reloads
+        << ", \"uptime_s\": " << elapsed_s(start_time_, Clock::now())
+        << ", \"workers\": " << opt_.workers << "}";
     return out.str();
   }
 
@@ -441,6 +475,7 @@ class Server::Impl {
 
     // Flushes c.out; returns false if the connection died.
     auto flush = [&](std::uint64_t id, Conn& c) -> bool {
+      USNE_TRACE_SPAN("net.write");
       while (c.out_off < c.out.size()) {
         const ssize_t n =
             ::send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
@@ -509,6 +544,18 @@ class Server::Impl {
                        {p, json.size()});
           return send_now(id, c, std::move(frame_bytes));
         }
+        case MsgType::kMetrics: {
+          // The Prometheus page: same inline, bypass-admission contract as
+          // kStats, so scrapes succeed while the engine queue is saturated.
+          accepted_requests_.fetch_add(1, std::memory_order_relaxed);
+          answered_requests_.fetch_add(1, std::memory_order_relaxed);
+          const std::string page = obs::Registry::global().prometheus_text();
+          const auto* p = reinterpret_cast<const std::uint8_t*>(page.data());
+          std::vector<std::uint8_t> frame_bytes;
+          append_frame(frame_bytes, MsgType::kMetricsReply, f.request_id,
+                       {p, page.size()});
+          return send_now(id, c, std::move(frame_bytes));
+        }
         default: {
           // Engine-bound: admission control, then the batching queue.
           accepted_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -545,6 +592,7 @@ class Server::Impl {
     };
 
     auto read_conn = [&](std::uint64_t id, Conn& c) {
+      USNE_TRACE_SPAN("net.read");
       for (;;) {
         const ssize_t n = ::recv(c.fd, rdbuf.data(), rdbuf.size(), 0);
         if (n > 0) {
@@ -706,6 +754,7 @@ class Server::Impl {
     for (;;) {
       group.clear();
       {
+        USNE_TRACE_SPAN("net.batch_coalesce");
         std::unique_lock<std::mutex> lock(queue_mutex_);
         for (;;) {
           if (work_queue_.empty()) {
@@ -747,10 +796,16 @@ class Server::Impl {
     std::deque<Response> out;
 
     for (Work& wk : group) {
+      USNE_TRACE_SPAN("net.engine");
       std::vector<std::uint8_t> reply;
       MsgType rtype = MsgType::kError;
       std::uint16_t rflags = 0;
       bool ok = true;
+
+      static serve::LatencyHistogram& queue_wait_us =
+          obs::histogram("usne_net_queue_wait_us");
+      queue_wait_us.record(
+          static_cast<std::uint64_t>(elapsed_us(wk.enqueued, Clock::now())));
 
       switch (wk.type) {
         case MsgType::kPair: {
@@ -807,8 +862,12 @@ class Server::Impl {
       std::vector<std::uint8_t> frame_bytes;
       if (ok) {
         answered_requests_.fetch_add(1, std::memory_order_relaxed);
-        hist_[static_cast<std::size_t>(w)]->record(
-            elapsed_us(wk.enqueued, Clock::now()));
+        const std::uint64_t lat_us =
+            static_cast<std::uint64_t>(elapsed_us(wk.enqueued, Clock::now()));
+        hist_[static_cast<std::size_t>(w)]->record(lat_us);
+        static serve::LatencyHistogram& request_latency_us =
+            obs::histogram("usne_net_request_latency_us");
+        request_latency_us.record(lat_us);
         append_frame(frame_bytes, rtype, wk.request_id, reply, rflags);
       } else {
         rejected_error_.fetch_add(1, std::memory_order_relaxed);
@@ -855,6 +914,9 @@ class Server::Impl {
   std::mutex lifecycle_mutex_;
   bool started_ = false;
   bool stopped_ = false;
+  Clock::time_point start_time_ = Clock::now();
+  std::size_t collector_id_ = 0;
+  bool collector_registered_ = false;
 
   std::atomic<std::int64_t> accepted_connections_{0};
   std::atomic<std::int64_t> closed_connections_{0};

@@ -14,8 +14,8 @@
 // Admission control / backpressure: a request that would overflow the
 // queue (max_queue) or its connection's in-flight cap
 // (max_inflight_per_conn) is answered immediately with kBusy — bounded
-// memory, explicit signal, client retries. PING and STATS bypass admission
-// (they never touch the engine), so health and observability stay
+// memory, explicit signal, client retries. PING, STATS and METRICS bypass
+// admission (they never touch the engine), so health and observability stay
 // responsive exactly when the daemon is saturated.
 //
 // Graceful reload: reload(new_engine) flips a shared_ptr behind a mutex.
@@ -27,7 +27,13 @@
 // Observability: per-worker lock-free serve::LatencyHistograms (merged on
 // demand), cumulative counters, and QueryEngine::cache_stats_delta for
 // per-interval cache rates — all surfaced by the STATS request and
-// stats_json().
+// stats_json(). A started server additionally registers a collector with
+// the global obs::Registry mirroring ServerStats as usne_net_* series, and
+// the METRICS request returns the registry's Prometheus text page (answered
+// inline by the I/O thread, like STATS). Request-lifecycle trace spans
+// (net.read / net.batch_coalesce / net.engine / net.write) and the
+// usne_net_queue_wait_us / usne_net_request_latency_us histograms cover the
+// path from socket read to socket write.
 //
 // Request conservation (inv::Category::kDaemon): every well-framed request
 // is eventually answered, rejected, or in flight —
@@ -132,9 +138,9 @@ class Server {
 
   /// One-line JSON: ServerStats counters, merged latency histogram,
   /// cumulative cache stats, per-interval cache stats
-  /// (cache_stats_delta), and — when audits are enabled — the invariant
-  /// counters. What the STATS request returns and `usne_served --json`
-  /// embeds at shutdown.
+  /// (cache_stats_delta), the binary's build_info block, uptime_s since
+  /// start(), and — when audits are enabled — the invariant counters. What
+  /// the STATS request returns and `usne_served --json` embeds at shutdown.
   std::string stats_json() const;
 
  private:

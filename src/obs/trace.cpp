@@ -1,0 +1,159 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace usne::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// One thread's ring. Written only by its owning thread; read by the
+/// quiescent dump/reset paths.
+struct Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t id)
+      : events(capacity), tid(id) {}
+
+  std::vector<TraceEvent> events;  // fixed capacity, slot = head % size
+  std::uint64_t head = 0;          // total events ever written
+  std::uint32_t tid = 0;
+};
+
+/// Global ring table. Rings are owned here (shared_ptr) so they outlive
+/// their threads — a dump after a worker exits still sees its events.
+struct RingTable {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::size_t capacity = 16384;
+  std::uint32_t next_tid = 1;
+};
+
+RingTable& table() {
+  static RingTable t;
+  return t;
+}
+
+Ring& this_thread_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    RingTable& t = table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto r = std::make_shared<Ring>(t.capacity, t.next_tid++);
+    t.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void push_event(const char* name, char phase) noexcept {
+  Ring& r = this_thread_ring();
+  TraceEvent& slot = r.events[static_cast<std::size_t>(
+      r.head % static_cast<std::uint64_t>(r.events.size()))];
+  slot.name = name;
+  slot.ts_us = mono_now_us();
+  slot.tid = r.tid;
+  slot.phase = phase;
+  ++r.head;
+}
+
+}  // namespace
+
+void trace_set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void trace_begin(const char* name) noexcept {
+  if (trace_enabled()) push_event(name, 'B');
+}
+
+void trace_end(const char* name) noexcept {
+  if (trace_enabled()) push_event(name, 'E');
+}
+
+void trace_end_always(const char* name) noexcept { push_event(name, 'E'); }
+
+void trace_instant(const char* name) noexcept {
+  if (trace_enabled()) push_event(name, 'i');
+}
+
+void trace_set_ring_capacity(std::size_t events) {
+  RingTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.capacity = std::max<std::size_t>(1, events);
+}
+
+std::size_t trace_retained_events() {
+  RingTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::size_t total = 0;
+  for (const auto& r : t.rings) {
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(r->head, r->events.size()));
+  }
+  return total;
+}
+
+std::int64_t trace_dropped_events() {
+  RingTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::int64_t dropped = 0;
+  for (const auto& r : t.rings) {
+    if (r->head > r->events.size()) {
+      dropped += static_cast<std::int64_t>(r->head - r->events.size());
+    }
+  }
+  return dropped;
+}
+
+std::string trace_dump_chrome_json() {
+  std::vector<TraceEvent> all;
+  {
+    RingTable& t = table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (const auto& r : t.rings) {
+      const std::uint64_t cap = r->events.size();
+      const std::uint64_t kept = std::min<std::uint64_t>(r->head, cap);
+      // Oldest retained event first: the ring wrapped iff head > cap, in
+      // which case slot head % cap is the oldest.
+      const std::uint64_t start = r->head > cap ? r->head % cap : 0;
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        all.push_back(
+            r->events[static_cast<std::size_t>((start + i) % cap)]);
+      }
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    out << (first ? "" : ", ") << "{\"name\": \"" << e.name
+        << "\", \"ph\": \"" << e.phase << "\", \"ts\": " << e.ts_us
+        << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+void trace_reset() {
+  RingTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  for (auto& r : t.rings) r->head = 0;
+}
+
+}  // namespace usne::obs

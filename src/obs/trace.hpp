@@ -1,0 +1,113 @@
+#pragma once
+
+// Span tracing into per-thread fixed-size ring buffers, dumped as Chrome
+// trace-event JSON (load the file at chrome://tracing or ui.perfetto.dev).
+//
+// Hot-path contract:
+//   * tracing disabled (the default): one relaxed atomic load per
+//     begin/end/instant call — no clock read, no write, no branch beyond
+//     the flag test;
+//   * tracing enabled: one clock read plus one write into a thread-local
+//     ring (no locks, no allocation after the ring exists);
+//   * compiled out (-DUSNE_NO_TRACE): the USNE_TRACE_* macros expand to
+//     nothing and a TU using only the macros references no obs symbol at
+//     all (asserted by check.sh's compile-out probe).
+//
+// Each thread writes its own ring; rings are registered in a global table
+// so trace_dump_chrome_json() can walk them. A full ring overwrites its
+// oldest events (newest-biased: the tail of a run is what you usually
+// debug). Event names must be string literals (the ring stores the
+// pointer).
+//
+// Dump/reset are *quiescent* operations: call them when no thread is
+// concurrently recording (after workers joined / the daemon stopped).
+// Recording itself is safe from any number of threads at once.
+//
+// Timestamps come from the repository-wide monotonic clock
+// (util/timer.hpp); they feed the trace file only, never algorithm output.
+
+#include <cstdint>
+#include <string>
+
+namespace usne::obs {
+
+/// One ring-buffer slot. `phase` follows the Chrome trace-event convention:
+/// 'B' span begin, 'E' span end, 'i' instant.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string (literal)
+  std::int64_t ts_us = 0;      ///< MonoClock microseconds
+  std::uint32_t tid = 0;       ///< small sequential thread id (not OS tid)
+  char phase = 'i';
+};
+
+/// Global on/off switch. Off by default; begin/end/instant are no-ops (one
+/// relaxed load) while off.
+void trace_set_enabled(bool on) noexcept;
+bool trace_enabled() noexcept;
+
+/// Record into the calling thread's ring (created on first use). `name`
+/// must be a string literal / static storage.
+void trace_begin(const char* name) noexcept;
+void trace_end(const char* name) noexcept;
+void trace_instant(const char* name) noexcept;
+
+/// Records 'E' regardless of the enabled flag — TraceSpan's destructor
+/// path, so a span opened while enabled still closes after a mid-span
+/// disable and dumps stay balanced.
+void trace_end_always(const char* name) noexcept;
+
+/// Per-thread ring capacity for rings created *after* this call (default
+/// 16384 events). Test support for exercising wraparound cheaply.
+void trace_set_ring_capacity(std::size_t events);
+
+/// Events currently retained across all rings / events overwritten by
+/// wraparound since the last reset. Quiescent reads.
+std::size_t trace_retained_events();
+std::int64_t trace_dropped_events();
+
+/// All retained events, merged across rings and sorted by (ts, tid), as a
+/// Chrome trace-event JSON document. Quiescent.
+std::string trace_dump_chrome_json();
+
+/// Clears every ring (capacities and thread registrations are kept).
+/// Quiescent.
+void trace_reset();
+
+/// RAII span: records 'B' at construction and 'E' at destruction when
+/// tracing was enabled at construction time (so a span open across a
+/// disable still closes — dumps stay balanced).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(name), active_(trace_enabled()) {
+    if (active_) trace_begin(name_);
+  }
+  ~TraceSpan() {
+    if (active_) trace_end_always(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+};
+
+}  // namespace usne::obs
+
+// Macro layer: the only obs interface hot paths use directly, so that
+// -DUSNE_NO_TRACE removes every reference (symbol-free, not just inert).
+#ifdef USNE_NO_TRACE
+#define USNE_TRACE_SPAN(name) \
+  do {                        \
+  } while (false)
+#define USNE_TRACE_INSTANT(name) \
+  do {                           \
+  } while (false)
+#else
+#define USNE_OBS_CONCAT_INNER(a, b) a##b
+#define USNE_OBS_CONCAT(a, b) USNE_OBS_CONCAT_INNER(a, b)
+#define USNE_TRACE_SPAN(name) \
+  ::usne::obs::TraceSpan USNE_OBS_CONCAT(usne_trace_span_, __LINE__)(name)
+#define USNE_TRACE_INSTANT(name) ::usne::obs::trace_instant(name)
+#endif

@@ -78,6 +78,13 @@ class LatencyHistogram {
   /// Largest value mapping to `index` (inverse of bucket_index).
   static std::uint64_t bucket_upper_bound(int index) noexcept;
 
+  /// Recorded count of bucket `index` (relaxed read; the per-bucket view
+  /// the obs layer's Prometheus histogram exposition is built from).
+  std::int64_t bucket_count(int index) const noexcept {
+    return counts_[static_cast<std::size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<std::int64_t>, kBucketCount> counts_{};
   std::atomic<std::int64_t> count_{0};

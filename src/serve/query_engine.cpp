@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <list>
 #include <mutex>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include <unordered_map>
 
 #include "api/build.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "path/sssp_kernel.hpp"
 #include "util/invariant.hpp"
 #include "util/rng.hpp"
@@ -129,6 +132,7 @@ class QueryEngine::Cache {
         return it->second.result;
       }
       waited = true;  // another thread is computing this source
+      USNE_TRACE_SPAN("serve.coalesce_wait");
       sh.cv.wait(lock);
     }
 
@@ -277,6 +281,7 @@ const char* QueryEngine::kernel_name() const noexcept {
 }
 
 std::vector<Dist> QueryEngine::compute_sssp(Vertex source) const {
+  USNE_TRACE_SPAN("serve.sssp_kernel");
   sssp_runs_.fetch_add(1, std::memory_order_relaxed);
   thread_local SsspScratch scratch;
   const bool permuted = renumbered();
@@ -304,6 +309,7 @@ SsspResult QueryEngine::query_all(Vertex source) const {
       return memo.result;
     }
   }
+  USNE_TRACE_SPAN("serve.cache_lookup");
   SsspResult result =
       cache_->get(source, [this](Vertex s) { return compute_sssp(s); });
   if (memo_enabled_) t_memo = {engine_id_, source, result};
@@ -380,6 +386,7 @@ BatchResult QueryEngine::serve(std::span<const Query> queries,
       options_.record_latency ? std::make_shared<LatencyHistogram>() : nullptr;
 
   const auto answer_one = [&](std::size_t i) {
+    USNE_TRACE_SPAN("serve.query");
     const Query& q = queries[i];
     if (q.all) {
       result.answers[i] = checksum_fold(*query_all(q.u));
@@ -387,14 +394,30 @@ BatchResult QueryEngine::serve(std::span<const Query> queries,
       result.answers[i] = query(q.u, q.v);
     }
   };
+  const std::int64_t slow_us = options_.slow_query_us;
   const auto run_one = [&](std::size_t i) {
-    if (!latency) {
+    if (!latency && slow_us <= 0) {
       answer_one(i);
       return;
     }
     Timer per_query;
     answer_one(i);
-    latency->record(static_cast<std::uint64_t>(per_query.seconds() * 1e6));
+    const std::int64_t us = per_query.micros();
+    if (latency) latency->record(static_cast<std::uint64_t>(us));
+    if (slow_us > 0 && us >= slow_us) {
+      static obs::Counter& slow_total =
+          obs::counter("usne_serve_slow_queries_total");
+      slow_total.add(1);
+      const Query& q = queries[i];
+      // One stdio call per line so concurrent lanes never interleave
+      // mid-line (stdio locks per call). Format documented in the README's
+      // Observability section and in ServeOptions::slow_query_us.
+      std::ostringstream line;
+      line << "SLOW_QUERY {\"all\": " << (q.all ? 1 : 0)
+           << ", \"threshold_us\": " << slow_us << ", \"u\": " << q.u
+           << ", \"us\": " << us << ", \"v\": " << q.v << "}\n";
+      std::fputs(line.str().c_str(), stderr);
+    }
   };
 
   const bool parallel = threads > 1 && queries.size() > 1;
@@ -494,6 +517,22 @@ BatchResult QueryEngine::serve(std::span<const Query> queries,
   for (const Dist d : result.answers) hash = checksum_accumulate(hash, d);
   result.checksum = hash;
   result.latency = std::move(latency);
+
+  // Mirror the batch deltas onto the global metrics page. Once per batch
+  // (cold path), pre-resolved handles — the per-query path stays untouched,
+  // and the page totals reconcile with the cache ledger by construction.
+  static obs::Counter& queries_total = obs::counter("usne_serve_queries_total");
+  static obs::Counter& hits_total = obs::counter("usne_serve_cache_hits_total");
+  static obs::Counter& misses_total =
+      obs::counter("usne_serve_cache_misses_total");
+  static obs::Counter& sssp_total = obs::counter("usne_serve_sssp_runs_total");
+  static obs::Counter& batches_total =
+      obs::counter("usne_serve_batches_total");
+  queries_total.add(static_cast<std::int64_t>(queries.size()));
+  hits_total.add(result.cache.hits);
+  misses_total.add(result.cache.misses);
+  sssp_total.add(result.cache.sssp_runs);
+  batches_total.add(1);
   return result;
 }
 

@@ -119,6 +119,15 @@ struct ServeOptions {
   /// serve() (a LatencyHistogram; two steady_clock reads per query). Off
   /// by default so throughput benches measure serving, not timing.
   bool record_latency = false;
+
+  /// Slow-query log threshold in microseconds; 0 (the default) disables
+  /// it. When set, serve() times every query (same two clock reads as
+  /// record_latency) and any query at or over the threshold emits one
+  /// stderr line —
+  ///   SLOW_QUERY {"all": 0|1, "threshold_us": T, "u": U, "us": X, "v": V}
+  /// — and bumps the usne_serve_slow_queries_total counter. Answers are
+  /// unaffected.
+  std::int64_t slow_query_us = 0;
 };
 
 /// Cache counter snapshot (cumulative since construction).

@@ -17,6 +17,8 @@
 //     (usne_served) and its blocking wire client (usne_loadgen)
 //   * ApproxDistanceOracle         — preprocess/query application (thin
 //     wrapper over the serve engine)
+//   * obs::Registry / USNE_TRACE_SPAN — process-global metrics (Prometheus/
+//     JSON export) and span tracing (Chrome trace-event dumps)
 //   * evaluate_stretch_exact / audit_all — verification utilities
 //
 // Include this for convenience, or the individual headers for faster
@@ -54,6 +56,8 @@
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "oracle/distance_oracle.hpp"
 #include "path/apsp.hpp"
 #include "path/bfs.hpp"
@@ -63,6 +67,7 @@
 #include "serve/query_engine.hpp"
 #include "serve/stats.hpp"
 #include "serve/workload.hpp"
+#include "util/build_info.hpp"
 #include "util/cli.hpp"
 #include "util/invariant.hpp"
 #include "util/math.hpp"

@@ -1,0 +1,54 @@
+#include "util/build_info.hpp"
+
+#include <sstream>
+
+namespace usne::util {
+
+namespace {
+
+#ifndef USNE_GIT_DESCRIBE
+#define USNE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef USNE_BUILD_TYPE
+#define USNE_BUILD_TYPE "unknown"
+#endif
+#ifndef USNE_SAN_NAME
+#define USNE_SAN_NAME ""
+#endif
+
+std::string make_build_info_json() {
+  std::ostringstream out;
+  out << "{\"audits_compiled\": "
+#ifdef USNE_NO_AUDITS
+      << "false"
+#else
+      << "true"
+#endif
+      << ", \"build_type\": \"" << USNE_BUILD_TYPE << "\""
+      << ", \"compiler\": \"" << __VERSION__ << "\""
+      << ", \"git\": \"" << USNE_GIT_DESCRIBE << "\""
+      << ", \"ndebug\": "
+#ifdef NDEBUG
+      << "true"
+#else
+      << "false"
+#endif
+      << ", \"san\": \"" << USNE_SAN_NAME << "\""
+      << ", \"trace_compiled\": "
+#ifdef USNE_NO_TRACE
+      << "false"
+#else
+      << "true"
+#endif
+      << "}";
+  return out.str();
+}
+
+}  // namespace
+
+const std::string& build_info_json() {
+  static const std::string json = make_build_info_json();
+  return json;
+}
+
+}  // namespace usne::util

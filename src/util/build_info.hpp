@@ -1,0 +1,21 @@
+#pragma once
+
+// Binary provenance: which source revision, compiler and build flags
+// produced this process. Embedded in every long-form JSON record
+// (usne_run --json, Server::stats_json) so bench rows and daemon stats are
+// attributable to a binary — a perf delta whose two rows came from
+// different build types is noise, not signal, and the build_info block
+// makes that visible instead of discoverable.
+
+#include <string>
+
+namespace usne::util {
+
+/// One-line JSON object (sorted keys):
+///   {"audits_compiled": ..., "build_type": ..., "compiler": ...,
+///    "git": ..., "ndebug": ..., "san": ..., "trace_compiled": ...}
+/// git/build_type/san are stamped by CMake at configure time
+/// ("unknown"/"" when built outside the CMake tree).
+const std::string& build_info_json();
+
+}  // namespace usne::util

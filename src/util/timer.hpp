@@ -1,29 +1,73 @@
 #pragma once
 
-// Wall-clock timing helper used by benches and examples.
+// Monotonic timing helpers — the one place in the repository that reads a
+// clock for measurement.
+//
+// Every subsystem that needs wall time (obs spans, the scheduler's stage
+// profile, net::Server's flush deadlines, bench drivers) goes through
+// MonoClock / now_us() / Timer below instead of hand-rolling its own
+// std::chrono boilerplate. One clock, one epoch, one unit convention
+// (microseconds for integer timestamps, seconds for double durations), so
+// timestamps from different layers are directly comparable — a trace span
+// begun in net/ and an instant event emitted in serve/ land on the same
+// timeline.
+//
+// The clock is std::chrono::steady_clock: monotonic, immune to NTP steps.
+// Timing never feeds algorithm output (determinism_lint.py keeps wall
+// clocks out of result paths); these helpers exist for measurement only.
 
 #include <chrono>
+#include <cstdint>
 
 namespace usne {
+
+/// The repository-wide monotonic measurement clock.
+using MonoClock = std::chrono::steady_clock;
+
+/// Monotonic timestamp in microseconds since an arbitrary (process-stable)
+/// epoch. The integer-timestamp currency of the obs layer: span begin/end,
+/// queue-wait deadlines, slow-query thresholds all trade in these.
+inline std::int64_t mono_now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             MonoClock::now().time_since_epoch())
+      .count();
+}
+
+/// Microseconds elapsed between two MonoClock time points.
+inline std::int64_t elapsed_us(MonoClock::time_point from,
+                               MonoClock::time_point to) noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+/// Seconds elapsed between two MonoClock time points, as a double.
+inline double elapsed_s(MonoClock::time_point from,
+                        MonoClock::time_point to) noexcept {
+  return std::chrono::duration<double>(to - from).count();
+}
 
 /// Simple monotonic stopwatch.
 class Timer {
  public:
-  Timer() noexcept : start_(Clock::now()) {}
+  Timer() noexcept : start_(MonoClock::now()) {}
 
-  void reset() noexcept { start_ = Clock::now(); }
+  void reset() noexcept { start_ = MonoClock::now(); }
 
   /// Elapsed seconds since construction / last reset.
   double seconds() const noexcept {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return elapsed_s(start_, MonoClock::now());
   }
 
   /// Elapsed milliseconds since construction / last reset.
   double millis() const noexcept { return seconds() * 1e3; }
 
+  /// Elapsed whole microseconds since construction / last reset.
+  std::int64_t micros() const noexcept {
+    return elapsed_us(start_, MonoClock::now());
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  MonoClock::time_point start_;
 };
 
 }  // namespace usne

@@ -1,0 +1,32 @@
+// Compile-out probe for -DUSNE_NO_TRACE (deliberately NOT named test_*.cpp
+// — it is not a GoogleTest binary and must stay out of the ctest glob).
+//
+// check.sh compiles this TU standalone with -DUSNE_NO_TRACE and asserts via
+// nm that the object references no obs symbol at all: the USNE_TRACE_*
+// macros must expand to nothing, not to inert calls. A hot loop
+// instrumented with these macros therefore costs literally zero in a
+// no-trace build — the guarantee trace.hpp's header comment makes and this
+// probe enforces.
+//
+// The TU uses ONLY the macro layer (the one interface hot paths are
+// allowed to use directly), inside loops the optimizer cannot discard, so
+// any macro that still expanded to a function call would surface as an
+// undefined `usne::obs::*` reference in the object file.
+
+#include "obs/trace.hpp"
+
+namespace usne {
+
+int probe_hot_loop(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    USNE_TRACE_SPAN("probe.iteration");
+    USNE_TRACE_INSTANT("probe.tick");
+    acc += i;
+  }
+  return acc;
+}
+
+}  // namespace usne
+
+int main(int argc, char**) { return usne::probe_hot_loop(argc) > 0 ? 0 : 0; }
